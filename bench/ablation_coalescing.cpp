@@ -1,0 +1,46 @@
+// Ablation: receive-interrupt coalescing delay (the e1000 "interrupt delay"
+// the paper tunes in its locally developed M-VIA driver, sec. 3).
+//
+// Expected shape: latency rises ~1:1 with the delay; single-link streaming
+// bandwidth is insensitive (wire-limited); but the 3-D aggregate *gains*
+// from moderate coalescing because fewer interrupts leave more CPU for the
+// six links. This is exactly the trade the paper's driver tuning makes.
+
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace benchutil;
+  using namespace meshmp::sim::literals;
+
+  std::printf("# Ablation: rx interrupt coalescing delay\n");
+  std::printf("%12s %12s %14s\n", "delay_us", "rtt2_us", "sim_bw_mbs");
+  for (sim::Duration d :
+       {0_us, 2_us, 5_us, 9_us, 12.6_us, 20_us, 40_us}) {
+    cluster::GigeMeshConfig cfg = ViaPair::ring4();
+    cfg.nic.rx_interrupt_delay = d;
+    const double lat = via_rtt2_us(64, 40, cfg);
+    const double bw = via_simultaneous_bw(16384, 120, cfg);
+    std::printf("%12.1f %12.2f %14.1f\n", sim::to_us(d), lat, bw);
+  }
+  std::printf("# default 12.6 us reproduces the paper's 18.5 us RTT/2;"
+              " lower delays trade\n# aggregate CPU headroom for latency\n");
+
+  std::printf("\n# NAPI polling mode (paper sec. 7 future work)\n");
+  std::printf("%12s %12s %14s %14s\n", "mode", "rtt2_us", "sim_bw_mbs",
+              "agg3d_mbs");
+  for (bool napi : {false, true}) {
+    cluster::GigeMeshConfig cfg = ViaPair::ring4();
+    cfg.nic.napi = napi;
+    const double lat = via_rtt2_us(64, 40, cfg);
+    const double bw = via_simultaneous_bw(16384, 120, cfg);
+    const double agg = via_aggregate_bw_cfg(3, 16384, 60, cfg.nic);
+    std::printf("%12s %12.2f %14.1f %14.1f\n", napi ? "napi" : "irq", lat,
+                bw, agg);
+  }
+  std::printf("# with a 15 us poll cadence NAPI beats per-frame interrupt"
+              " coalescing on both\n# metrics: polling replaces the fixed"
+              " 12.6 us delay AND frees CPU for 6 links\n");
+  return 0;
+}

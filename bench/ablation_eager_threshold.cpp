@@ -1,0 +1,40 @@
+// Ablation: the eager -> RMA protocol switch point (paper sec. 5.1 fixes it
+// at 16 KiB). Sweeps the threshold and reports MPI/QMP latency and one-way
+// streaming bandwidth at probe message sizes spanning the switch.
+//
+// Expected shape: below the crossover region the eager path wins (the
+// rendezvous handshake costs ~2 extra one-way latencies); above it RMA wins
+// (it skips both user-level copies). The knee sits near the paper's 16 KiB.
+
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace benchutil;
+
+  const std::int64_t thresholds[] = {2048,  4096,   8192,
+                                     16384, 32768,  65536,
+                                     131072};
+  const std::int64_t probes[] = {4096, 16384, 65536, 262144};
+
+  std::printf("# Ablation: eager/RMA threshold sweep (MPI/QMP)\n");
+  std::printf("# one-way stream bandwidth (MB/s) per probe size\n");
+  std::printf("%12s", "threshold");
+  for (auto p : probes) std::printf(" %10lldB", static_cast<long long>(p));
+  std::printf(" %12s\n", "lat8k_us");
+
+  for (std::int64_t th : thresholds) {
+    mp::CoreParams params;
+    params.eager_threshold = th;
+    std::printf("%12lld", static_cast<long long>(th));
+    for (std::int64_t p : probes) {
+      const int count = p >= 262144 ? 20 : 80;
+      std::printf(" %11.1f", mpiqmp_stream_bw(p, count, params));
+    }
+    std::printf(" %12.2f\n", mpiqmp_rtt2_us(8192, 30, params));
+  }
+  std::printf("# paper picks 16 KiB: small messages stay on the low-latency"
+              " eager path,\n# large ones get the copy-free RMA path\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 3 reproduction: aggregated (usable) send bandwidth of one node with
+// all of its mesh links streaming bidirectionally at once — 4 links in a 2-D
+// torus, 6 links in a 3-D torus — for the modified M-VIA and for TCP.
+//
+// Paper headlines: M-VIA 2-D flattens around 400 MB/s (~100 MB/s per link);
+// M-VIA 3-D peaks near 550 MB/s and falls back toward 400 MB/s at large
+// sizes (receive-copy + pipelining limits); TCP far below and roughly flat —
+// a single CPU cannot drive multiple GigE links through the kernel stack.
+
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace benchutil;
+
+  std::printf("# Figure 3: aggregated send bandwidth (MB/s) of one node\n");
+  std::printf("%10s %12s %12s %12s %12s\n", "bytes", "via_3d", "via_2d",
+              "tcp_3d", "tcp_2d");
+
+  const std::int64_t sizes[] = {1024,  2048,   4096,   8192,  16384,
+                                32768, 65536, 131072, 262144, 524288,
+                                1048576};
+  for (std::int64_t s : sizes) {
+    const int count = s >= 262144 ? 20 : (s >= 32768 ? 60 : 150);
+    const double via3 = via_aggregate_bw(3, s, count);
+    const double via2 = via_aggregate_bw(2, s, count);
+    const double tcp3 = tcp_aggregate_bw(3, s, count);
+    const double tcp2 = tcp_aggregate_bw(2, s, count);
+    std::printf("%10lld %12.1f %12.1f %12.1f %12.1f\n",
+                static_cast<long long>(s), via3, via2, tcp3, tcp2);
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Section 5.1 reproduction (text series backing fig. 4): point-to-point
+// latency to NON-nearest neighbours through the modified M-VIA's kernel
+// packet switching.
+//
+// Paper headline: routed latency = 18.5 us + ~12.5 us per additional hop
+// (forwarding happens at kernel interrupt level, skipping the user-space
+// copies), and non-neighbour bandwidth without contention matches the
+// neighbour bandwidth.
+
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace benchutil;
+
+  std::printf("# Sec 5.1: MPI/QMP latency vs hop count (64 B messages)\n");
+  std::printf("%6s %12s %16s\n", "hops", "rtt2_us", "us_per_extra_hop");
+  double prev = 0;
+  for (int hops = 1; hops <= 8; ++hops) {
+    const double us = mpiqmp_routed_rtt2_us(hops, 64);
+    std::printf("%6d %12.2f %16.2f\n", hops, us, hops == 1 ? 0.0 : us - prev);
+    prev = us;
+  }
+  std::printf("# paper: slope ~12.5 us/hop on top of the 18.5 us base\n");
+
+  std::printf("\n# non-neighbour bandwidth under no contention (256 KiB"
+              " messages, MB/s)\n");
+  std::printf("%6s %12s\n", "hops", "bw_mbs");
+  for (int hops : {1, 2, 4}) {
+    const double us = mpiqmp_routed_rtt2_us(hops, 262144, 8);
+    std::printf("%6d %12.1f\n", hops, 262144.0 / us);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// google-benchmark microbenchmarks of the real (host-executed) LQCD
+// arithmetic: SU(3) matrix algebra and the reference Wilson dslash. These
+// measure *this machine's* throughput on the actual kernels — useful for
+// sanity-checking the flops_per_sec parameter fed to the cluster model.
+
+#include <benchmark/benchmark.h>
+
+#include "lqcd/dslash.hpp"
+#include "lqcd/lattice.hpp"
+#include "lqcd/su3.hpp"
+
+namespace {
+
+using namespace meshmp;
+using namespace meshmp::lqcd;
+
+void BM_Su3MatMat(benchmark::State& state) {
+  sim::Rng rng(1);
+  const Su3Matrix a = random_su3(rng);
+  const Su3Matrix b = random_su3(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kFlopsSu3MatMat),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Su3MatMat);
+
+void BM_Su3MatVec(benchmark::State& state) {
+  sim::Rng rng(2);
+  const Su3Matrix u = random_su3(rng);
+  ColorVector v;
+  for (int i = 0; i < 3; ++i) v[i] = Complex{0.5, -0.25};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(u * v);
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kFlopsSu3MatVec),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Su3MatVec);
+
+void BM_WilsonDslash(benchmark::State& state) {
+  const int L = static_cast<int>(state.range(0));
+  const Lattice4D lat({L, L, L, L});
+  sim::Rng rng(3);
+  const GaugeField u = random_gauge(lat, rng);
+  const SpinorField in = random_spinor_field(lat, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dslash(lat, u, in));
+  }
+  state.SetItemsProcessed(state.iterations() * lat.volume());
+  state.counters["site_flops"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * lat.volume() *
+                          kFlopsWilsonDslashPerSite),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WilsonDslash)->Arg(4)->Arg(8);
+
+void BM_RandomSu3(benchmark::State& state) {
+  sim::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(random_su3(rng));
+  }
+}
+BENCHMARK(BM_RandomSu3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

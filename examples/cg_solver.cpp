@@ -1,0 +1,111 @@
+// Conjugate-gradient example: the iterative solve at the heart of every LQCD
+// production run. Solves the normal equation of the shifted Wilson operator,
+//
+//     A x = b   with   A = (D + m)^dag (D + m),
+//
+// on an 8x8x8x8 lattice with a random SU(3) gauge field, using the real
+// arithmetic kernels of src/lqcd. A is hermitian positive definite by
+// construction, so plain CG applies; convergence of the true residual is the
+// end-to-end check that dslash, dslash_dagger and the algebra all agree.
+
+#include <cstdio>
+
+#include "lqcd/dslash.hpp"
+#include "lqcd/lattice.hpp"
+#include "lqcd/su3.hpp"
+
+using namespace meshmp;
+using namespace meshmp::lqcd;
+
+namespace {
+
+constexpr double kMass = 10.0;  // outside the dslash spectrum (|lambda|<=8): A is well conditioned
+
+SpinorField apply_shifted(const Lattice4D& lat, const GaugeField& u,
+                          const SpinorField& x, double m) {
+  SpinorField y = dslash(lat, u, x);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    for (int s = 0; s < 4; ++s) {
+      y[i][s] += Complex{m} * x[i][s];
+    }
+  }
+  return y;
+}
+
+SpinorField apply_shifted_dagger(const Lattice4D& lat, const GaugeField& u,
+                                 const SpinorField& x, double m) {
+  SpinorField y = dslash_dagger(lat, u, x);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    for (int s = 0; s < 4; ++s) {
+      y[i][s] += Complex{m} * x[i][s];
+    }
+  }
+  return y;
+}
+
+SpinorField apply_normal(const Lattice4D& lat, const GaugeField& u,
+                         const SpinorField& x) {
+  return apply_shifted_dagger(lat, u, apply_shifted(lat, u, x, kMass),
+                              kMass);
+}
+
+void axpy(SpinorField& y, Complex a, const SpinorField& x) {
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    for (int s = 0; s < 4; ++s) y[i][s] += a * x[i][s];
+  }
+}
+
+double norm2(const SpinorField& f) {
+  double n = 0;
+  for (const auto& sp : f) n += sp.norm2();
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  const Lattice4D lat({8, 8, 8, 8});
+  sim::Rng rng(7);
+  const GaugeField u = random_gauge(lat, rng);
+  const SpinorField b = random_spinor_field(lat, rng);
+
+  SpinorField x(b.size());  // x0 = 0
+  SpinorField r = b;        // r0 = b - A x0 = b
+  SpinorField p = r;
+  double rr = norm2(r);
+  const double bb = norm2(b);
+
+  std::printf("CG on (D+m)^dag(D+m) x = b, %d sites, m=%.1f\n", lat.volume(),
+              kMass);
+  std::printf("%6s %14s\n", "iter", "|r|/|b|");
+
+  const double tol = 1e-10;
+  int iter = 0;
+  for (; iter < 200 && rr / bb > tol * tol; ++iter) {
+    const SpinorField ap = apply_normal(lat, u, p);
+    const Complex pap = inner_product(p, ap);
+    const Complex alpha = Complex{rr} / pap;
+    axpy(x, alpha, p);
+    axpy(r, -alpha, ap);
+    const double rr_new = norm2(r);
+    if (iter % 5 == 0) {
+      std::printf("%6d %14.3e\n", iter, std::sqrt(rr_new / bb));
+    }
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      for (int s = 0; s < 4; ++s) {
+        p[i][s] = r[i][s] + Complex{beta} * p[i][s];
+      }
+    }
+  }
+
+  // True residual check (not the recursive one): b - A x.
+  SpinorField ax = apply_normal(lat, u, x);
+  SpinorField true_r = b;
+  axpy(true_r, Complex{-1.0}, ax);
+  const double final_rel = std::sqrt(norm2(true_r) / bb);
+  std::printf("converged in %d iterations, true |b - A x|/|b| = %.3e\n",
+              iter, final_rel);
+  return final_rel < 1e-8 ? 0 : 1;
+}

@@ -1,0 +1,21 @@
+#include "cluster/gige_mesh.hpp"
+
+namespace meshmp::cluster {
+
+GigeMeshCluster::GigeMeshCluster(GigeMeshConfig cfg)
+    : cfg_(cfg), torus_(cfg.shape, cfg.wrap) {
+  sim::Rng master(cfg_.seed);
+  fabric_ = std::make_unique<MeshFabric>(eng_, torus_, cfg_.host, cfg_.nic,
+                                         cfg_.bus, cfg_.link, master);
+  agents_.reserve(static_cast<std::size_t>(torus_.size()));
+  for (topo::Rank r = 0; r < torus_.size(); ++r) {
+    auto agent = std::make_unique<via::KernelAgent>(
+        fabric_->node(r), torus_, r, cfg_.via, master.fork());
+    for (topo::Dir d : torus_.directions(torus_.coord(r))) {
+      agent->attach_nic(d, fabric_->nic(r, d));
+    }
+    agents_.push_back(std::move(agent));
+  }
+}
+
+}  // namespace meshmp::cluster

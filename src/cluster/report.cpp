@@ -1,0 +1,52 @@
+#include "cluster/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace meshmp::cluster {
+
+ClusterReport make_report(GigeMeshCluster& cluster) {
+  ClusterReport r;
+  r.sim_seconds = sim::to_sec(cluster.engine().now());
+  for (topo::Rank rank = 0; rank < cluster.size(); ++rank) {
+    auto& node = cluster.node_hw(rank);
+    const double u = node.cpu().utilization();
+    r.avg_cpu_utilization += u;
+    r.max_cpu_utilization = std::max(r.max_cpu_utilization, u);
+    for (auto& nic : node.nics()) {
+      const auto& c = nic->counters();
+      r.interrupts += c.get("interrupts");
+      r.napi_polls += c.get("napi_polls");
+      r.tx_frames += c.get("tx_frames");
+      r.rx_frames += c.get("rx_frames");
+      r.checksum_drops += c.get("rx_checksum_drop");
+      r.ring_drops += c.get("rx_ring_full") + c.get("tx_ring_full");
+    }
+    r.forwarded_frames += cluster.agent(rank).counters().get("fwd_frames");
+  }
+  r.avg_cpu_utilization /= static_cast<double>(cluster.size());
+  return r;
+}
+
+std::string ClusterReport::str() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "simulated time      : %.6f s\n"
+      "cpu utilization     : avg %.1f%%, max %.1f%%\n"
+      "frames              : %lld tx, %lld rx, %lld forwarded\n"
+      "interrupts          : %lld (%lld NAPI polls)\n"
+      "drops               : %lld checksum, %lld ring\n"
+      "retransmits         : %lld\n",
+      sim_seconds, avg_cpu_utilization * 100, max_cpu_utilization * 100,
+      static_cast<long long>(tx_frames), static_cast<long long>(rx_frames),
+      static_cast<long long>(forwarded_frames),
+      static_cast<long long>(interrupts),
+      static_cast<long long>(napi_polls),
+      static_cast<long long>(checksum_drops),
+      static_cast<long long>(ring_drops),
+      static_cast<long long>(retransmits));
+  return buf;
+}
+
+}  // namespace meshmp::cluster

@@ -1,0 +1,34 @@
+#pragma once
+
+// Post-run diagnostics: aggregates hardware and protocol counters across a
+// cluster into a printable summary (CPU utilization, interrupt counts, frame
+// totals, retransmissions, forwarding activity). Benches and examples use it
+// to explain *why* a configuration performed the way it did.
+
+#include <string>
+
+#include "cluster/gige_mesh.hpp"
+
+namespace meshmp::cluster {
+
+struct ClusterReport {
+  double sim_seconds = 0;
+  double avg_cpu_utilization = 0;
+  double max_cpu_utilization = 0;
+  std::int64_t interrupts = 0;
+  std::int64_t napi_polls = 0;
+  std::int64_t tx_frames = 0;
+  std::int64_t rx_frames = 0;
+  std::int64_t checksum_drops = 0;
+  std::int64_t ring_drops = 0;
+  std::int64_t forwarded_frames = 0;
+  std::int64_t retransmits = 0;
+
+  /// Multi-line human-readable rendering.
+  [[nodiscard]] std::string str() const;
+};
+
+/// Snapshot of the cluster's counters at the current simulated time.
+ClusterReport make_report(GigeMeshCluster& cluster);
+
+}  // namespace meshmp::cluster

@@ -1,0 +1,71 @@
+#include "coll/tree.hpp"
+
+#include <cassert>
+
+#include "topo/spanning_tree.hpp"
+
+namespace meshmp::coll {
+
+using sim::Task;
+
+std::optional<topo::Rank> bcast_parent(const topo::Torus& t, topo::Rank root,
+                                       topo::Rank me) {
+  return topo::bcast_parent(t, root, me);
+}
+
+std::vector<topo::Rank> bcast_children(const topo::Torus& t, topo::Rank root,
+                                       topo::Rank me) {
+  return topo::bcast_children(t, root, me);
+}
+
+Task<> broadcast(mp::Endpoint& ep, topo::Rank root,
+                 std::vector<std::byte>& data, int tag) {
+  const topo::Torus& t = ep.agent().torus();
+  const topo::Rank me = ep.rank();
+  if (auto parent = topo::bcast_parent(t, root, me)) {
+    mp::Message msg = co_await ep.recv(static_cast<int>(*parent), tag);
+    data = std::move(msg.data);
+  }
+  // Forward to all children concurrently (the node's multi-port capability:
+  // different children sit behind different adapters).
+  sim::TaskGroup group(ep.engine());
+  for (topo::Rank kid : topo::bcast_children(t, root, me)) {
+    group.add(ep.send(static_cast<int>(kid), tag, data));
+  }
+  co_await group.join();
+}
+
+Task<> reduce(mp::Endpoint& ep, topo::Rank root, std::vector<std::byte>& data,
+              const ReduceOp& op, int tag) {
+  const topo::Torus& t = ep.agent().torus();
+  const topo::Rank me = ep.rank();
+  auto& cpu = ep.agent().node().cpu();
+  // Receive partials from every child (any arrival order), combine, pass on.
+  const auto kids = topo::bcast_children(t, root, me);
+  for (std::size_t i = 0; i < kids.size(); ++i) {
+    (void)i;
+    mp::Message msg = co_await ep.recv(mp::Endpoint::kAny, tag);
+    op.combine(data, msg.data);
+    if (op.flops_per_byte > 0) {
+      co_await cpu.compute_flops(op.flops_per_byte *
+                                 static_cast<double>(data.size()));
+    }
+  }
+  if (auto parent = topo::bcast_parent(t, root, me)) {
+    co_await ep.send(static_cast<int>(*parent), tag, data);
+  }
+}
+
+Task<> allreduce(mp::Endpoint& ep, std::vector<std::byte>& data,
+                 const ReduceOp& op, int tag) {
+  constexpr topo::Rank kRoot = 0;
+  co_await reduce(ep, kRoot, data, op, tag);
+  co_await broadcast(ep, kRoot, data, tag + 1);
+}
+
+Task<> barrier(mp::Endpoint& ep, int tag) {
+  std::vector<std::byte> nothing;
+  co_await allreduce(ep, nothing, null_op(), tag);
+}
+
+}  // namespace meshmp::coll

@@ -1,0 +1,49 @@
+#pragma once
+
+// Mesh collective algorithms of paper sec. 5.2: dimension-ordered broadcast
+// (along the x axis, then across the xy plane, then through all yz planes),
+// its reverse as reduction, global combining (reduce + broadcast), and
+// barrier (global combine with a null reduction).
+//
+// All functions are SPMD: every rank calls the same function; the result is
+// what that rank ends up with. Tags must come from a per-operation tag space
+// (the MPI/QMP layers allocate them).
+
+#include <optional>
+#include <vector>
+
+#include "coll/reduce_op.hpp"
+#include "mp/endpoint.hpp"
+#include "topo/torus.hpp"
+
+namespace meshmp::coll {
+
+/// The broadcast spanning tree rooted at `root`: a node's parent is one hop
+/// toward the root along its *highest* displaced dimension, so data flows
+/// dimension 0 first, exactly the paper's axis/plane order.
+std::optional<topo::Rank> bcast_parent(const topo::Torus& t, topo::Rank root,
+                                       topo::Rank me);
+
+/// All nodes whose bcast_parent is `me` (the ranks this node must forward to).
+std::vector<topo::Rank> bcast_children(const topo::Torus& t, topo::Rank root,
+                                       topo::Rank me);
+
+/// Dimension-ordered broadcast; on return every rank's `data` holds the
+/// root's buffer.
+sim::Task<> broadcast(mp::Endpoint& ep, topo::Rank root,
+                      std::vector<std::byte>& data, int tag);
+
+/// Reverse-broadcast reduction; on return the root's `data` holds the
+/// elementwise combination of everyone's input (other ranks keep partials).
+sim::Task<> reduce(mp::Endpoint& ep, topo::Rank root,
+                   std::vector<std::byte>& data, const ReduceOp& op, int tag);
+
+/// Global combining (paper: reduce to a node, then broadcast the result);
+/// every rank ends with the combined value. Uses tag and tag+1.
+sim::Task<> allreduce(mp::Endpoint& ep, std::vector<std::byte>& data,
+                      const ReduceOp& op, int tag);
+
+/// Barrier: global combining with a null reduction. Uses tag and tag+1.
+sim::Task<> barrier(mp::Endpoint& ep, int tag);
+
+}  // namespace meshmp::coll

@@ -1,0 +1,69 @@
+#pragma once
+
+// The per-node CPU: a unit-capacity priority resource plus the host cost
+// model. Interrupt work preempts queued user work (priority 0 vs 2), which is
+// how a single Xeon ends up the bottleneck when six GigE links are busy.
+
+#include <cstdint>
+#include <string>
+
+#include "hw/params.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace meshmp::hw {
+
+class Cpu {
+ public:
+  static constexpr int kIrq = sim::Resource::kInterruptPriority;
+  static constexpr int kKernel = sim::Resource::kKernelPriority;
+  static constexpr int kUser = sim::Resource::kUserPriority;
+
+  Cpu(sim::Engine& eng, HostParams params)
+      : eng_(eng), params_(params), res_(eng, 1) {}
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return eng_; }
+  [[nodiscard]] const HostParams& host() const noexcept { return params_; }
+  [[nodiscard]] HostParams& host() noexcept { return params_; }
+
+  /// Occupies the CPU for `dur` at the given priority.
+  sim::Task<> busy(sim::Duration dur, int priority = kUser) {
+    return res_.consume(dur, priority);
+  }
+
+  /// Performs a memory copy of `bytes`; `hot` selects cache-resident vs
+  /// cache-cold bandwidth.
+  sim::Task<> copy(std::int64_t bytes, bool hot, int priority = kUser) {
+    return res_.consume(params_.copy_time(bytes, hot), priority);
+  }
+
+  /// Pure compute (no copy): e.g. dslash arithmetic, reduction ops.
+  sim::Task<> compute_flops(double flops, int priority = kUser) {
+    return res_.consume(
+        sim::transfer_time(static_cast<std::int64_t>(flops),
+                           params_.flops_per_sec),
+        priority);
+  }
+
+  /// Raw access for multi-step critical sections.
+  auto acquire(int priority = kUser) { return res_.acquire(1, priority); }
+  void release() { res_.release(1); }
+
+  [[nodiscard]] sim::Duration busy_time() const { return res_.busy_time(); }
+  [[nodiscard]] double utilization() const {
+    const auto now = eng_.now();
+    return now > 0 ? static_cast<double>(res_.busy_time()) /
+                         static_cast<double>(now)
+                   : 0.0;
+  }
+
+ private:
+  sim::Engine& eng_;
+  HostParams params_;
+  sim::Resource res_;
+};
+
+}  // namespace meshmp::hw

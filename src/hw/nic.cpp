@@ -1,0 +1,176 @@
+#include "hw/nic.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace meshmp::hw {
+
+Nic::Nic(Cpu& cpu, sim::Resource& bus, NicParams params, net::LinkParams wire,
+         sim::Rng rng, std::string name)
+    : cpu_(cpu),
+      bus_(bus),
+      params_(params),
+      wire_(wire),
+      rng_(rng),
+      name_(std::move(name)),
+      tx_ring_(cpu.engine()),
+      tx_space_(cpu.engine()),
+      tx_fifo_(cpu.engine()),
+      tx_fifo_slots_(cpu.engine(), 4),
+      rx_ring_(cpu.engine()) {
+  dma_pump().detach();
+  wire_pump().detach();
+}
+
+sim::Duration Nic::wire_time(std::int64_t wire_bytes) const {
+  const std::int64_t on_wire = std::max(wire_bytes, wire_.min_frame_bytes) +
+                               wire_.per_frame_overhead_bytes;
+  return sim::transfer_time(on_wire, wire_.bytes_per_sec);
+}
+
+bool Nic::post_tx(net::Frame frame) {
+  if (tx_queued_ >= params_.tx_descriptors) {
+    counters_.inc("tx_ring_full");
+    return false;
+  }
+  ++tx_queued_;
+  frame.stamp_checksum();  // hardware checksum offload: free for the host
+  tx_ring_.push(std::move(frame));
+  return true;
+}
+
+void Nic::kernel_enqueue(net::Frame frame) {
+  if (!qdisc_running_ && tx_queued_ < params_.tx_descriptors) {
+    const bool ok = post_tx(std::move(frame));
+    assert(ok);
+    (void)ok;
+    return;
+  }
+  counters_.inc("qdisc_queued");
+  qdisc_.push_back(std::move(frame));
+  if (!qdisc_running_) {
+    qdisc_running_ = true;
+    qdisc_pump().detach();
+  }
+}
+
+sim::Task<> Nic::qdisc_pump() {
+  while (!qdisc_.empty()) {
+    while (tx_queued_ >= params_.tx_descriptors) {
+      co_await tx_space_.next();
+    }
+    const bool ok = post_tx(std::move(qdisc_.front()));
+    assert(ok);
+    (void)ok;
+    qdisc_.pop_front();
+  }
+  qdisc_running_ = false;
+}
+
+sim::Task<> Nic::dma_pump() {
+  for (;;) {
+    net::Frame f = co_await tx_ring_.pop();
+    co_await tx_fifo_slots_.acquire();
+    // Descriptor DMA across the shared PCI-X bus; bus holds are serialized,
+    // so concurrent adapters share its bandwidth.
+    co_await bus_.consume(
+        params_.dma_per_frame +
+            sim::transfer_time(f.wire_bytes, params_.dma_bytes_per_sec),
+        sim::Resource::kKernelPriority);
+    // Descriptor is done as soon as the data reaches the adapter FIFO.
+    --tx_queued_;
+    tx_space_.notify_all();
+    counters_.inc("tx_frames");
+    tx_fifo_.push(std::move(f));
+  }
+}
+
+sim::Task<> Nic::wire_pump() {
+  for (;;) {
+    net::Frame f = co_await tx_fifo_.pop();
+    co_await sim::delay(cpu_.engine(), wire_time(f.wire_bytes));
+    tx_fifo_slots_.release();
+    if (wire_.drop_prob > 0 && rng_.bernoulli(wire_.drop_prob)) {
+      counters_.inc("wire_dropped");
+      continue;
+    }
+    if (wire_.corrupt_prob > 0 && !f.payload.empty() &&
+        rng_.bernoulli(wire_.corrupt_prob)) {
+      f.payload[rng_.below(f.payload.size())] ^= std::byte{0x08};
+      counters_.inc("wire_corrupted");
+    }
+    assert(peer_ && "Nic: no peer attached");
+    cpu_.engine().schedule(
+        wire_.propagation,
+        [this, f = std::move(f)]() mutable { peer_(std::move(f)); });
+  }
+}
+
+void Nic::receive(net::Frame f) {
+  if (params_.hw_checksum && !f.payload.empty() && !f.checksum_ok()) {
+    counters_.inc("rx_checksum_drop");
+    return;
+  }
+  if (rx_queued_ >= params_.rx_descriptors) {
+    counters_.inc("rx_ring_full");
+    return;
+  }
+  ++rx_queued_;
+  counters_.inc("rx_frames");
+  rx_ring_.push(std::move(f));
+  arm_interrupt();
+}
+
+void Nic::arm_interrupt() {
+  if (irq_armed_ || napi_polling_) return;
+  irq_armed_ = true;
+  cpu_.engine().schedule(params_.rx_interrupt_delay, [this] {
+    isr().detach();
+  });
+}
+
+sim::Task<> Nic::drain_rx(IsrContext& ctx) {
+  // Drain everything in the ring, including frames that arrive while the
+  // handler is running (batching under load).
+  while (auto f = rx_ring_.try_pop()) {
+    --rx_queued_;
+    if (driver_ != nullptr) {
+      co_await driver_->handle_rx(std::move(*f), ctx);
+    }
+  }
+}
+
+sim::Task<> Nic::isr() {
+  co_await cpu_.acquire(Cpu::kIrq);
+  counters_.inc("interrupts");
+  irq_armed_ = false;
+  co_await sim::delay(cpu_.engine(), cpu_.host().isr_entry);
+  IsrContext ctx(cpu_.engine(), cpu_.host());
+  co_await drain_rx(ctx);
+  if (params_.napi) {
+    // Stay in polling mode: interrupts off, scheduled polls take over
+    // (paper sec. 7 / Linux 2.6 NAPI).
+    napi_polling_ = true;
+    napi_poll().detach();
+  }
+  cpu_.release();
+}
+
+sim::Task<> Nic::napi_poll() {
+  for (;;) {
+    co_await sim::delay(cpu_.engine(), params_.napi_poll_interval);
+    if (rx_queued_ == 0) {
+      // Idle poll: re-enable interrupts and leave polling mode.
+      napi_polling_ = false;
+      co_return;
+    }
+    co_await cpu_.acquire(Cpu::kIrq);
+    counters_.inc("napi_polls");
+    IsrContext ctx(cpu_.engine(), cpu_.host());
+    co_await drain_rx(ctx);
+    cpu_.release();
+  }
+}
+
+}  // namespace meshmp::hw

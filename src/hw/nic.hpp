@@ -1,0 +1,149 @@
+#pragma once
+
+// Gigabit Ethernet adapter model (Intel Pro/1000MT-like).
+//
+// Transmit: bounded descriptor ring -> DMA stage (shared PCI-X bus) -> small
+// on-adapter FIFO -> wire serialization at line rate -> peer rx entry after
+// propagation. The two stages overlap, so steady-state throughput is the
+// slower of DMA and wire, not their sum.
+//
+// Receive: bus DMA into a host ring buffer -> interrupt coalescing (the
+// driver's "receive interrupt delay") -> ISR runs on the host CPU at
+// interrupt priority and hands each frame to the attached protocol driver.
+// Hardware checksum verification discards corrupted frames before the host
+// ever sees them.
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "hw/cpu.hpp"
+#include "hw/params.hpp"
+#include "net/frame.hpp"
+#include "net/link.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace meshmp::hw {
+
+class Nic;
+
+/// Time-accounting context handed to a driver's rx handler. The ISR already
+/// holds the CPU at interrupt priority; `spend*` advances time while holding
+/// it (never re-acquire the CPU from inside a handler).
+class IsrContext {
+ public:
+  IsrContext(sim::Engine& eng, const HostParams& host)
+      : eng_(eng), host_(host) {}
+
+  sim::Task<> spend(sim::Duration d) { co_await sim::delay(eng_, d); }
+  sim::Task<> spend_copy(std::int64_t bytes, bool hot) {
+    co_await sim::delay(eng_, host_.copy_time(bytes, hot));
+  }
+  [[nodiscard]] sim::Engine& engine() noexcept { return eng_; }
+  [[nodiscard]] const HostParams& host() const noexcept { return host_; }
+
+ private:
+  sim::Engine& eng_;
+  const HostParams& host_;
+};
+
+/// Protocol stack entry point invoked from the receive ISR.
+class NicDriver {
+ public:
+  virtual ~NicDriver() = default;
+  /// Processes one received frame while the ISR holds the CPU. Implementations
+  /// charge their own time through `ctx` and may post frames to (other) NICs.
+  virtual sim::Task<> handle_rx(net::Frame frame, IsrContext& ctx) = 0;
+};
+
+class Nic {
+ public:
+  /// `bus` is the node's shared PCI resource (may be shared by several
+  /// adapters); `wire` describes the attached cable.
+  Nic(Cpu& cpu, sim::Resource& bus, NicParams params, net::LinkParams wire,
+      sim::Rng rng, std::string name);
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  /// Connects the far end of the cable (usually the peer NIC's rx_entry()).
+  void set_peer(std::function<void(net::Frame)> peer) {
+    peer_ = std::move(peer);
+  }
+
+  /// Receive-side entry, to be handed to the peer as its tx sink.
+  std::function<void(net::Frame)> rx_entry() {
+    return [this](net::Frame f) { receive(std::move(f)); };
+  }
+
+  void set_driver(NicDriver* driver) { driver_ = driver; }
+
+  /// Queues a frame for transmission. Returns false when the tx descriptor
+  /// ring is full; callers wait on tx_space() and retry.
+  bool post_tx(net::Frame frame);
+
+  /// Kernel-context transmit that never drops: when the descriptor ring is
+  /// full the frame waits in an unbounded software queue (the Linux qdisc)
+  /// and drains as descriptors free up. Used for acks, retransmissions and
+  /// forwarded frames, which an ISR cannot block to send.
+  void kernel_enqueue(net::Frame frame);
+
+  /// Fired whenever a tx descriptor frees up.
+  [[nodiscard]] sim::Signal& tx_space() noexcept { return tx_space_; }
+
+  [[nodiscard]] int tx_free() const noexcept {
+    return params_.tx_descriptors - tx_queued_;
+  }
+  [[nodiscard]] const sim::Counters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const NicParams& params() const noexcept { return params_; }
+  [[nodiscard]] net::LinkParams& wire_params() noexcept { return wire_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Wire time for a frame of the given modelled size.
+  [[nodiscard]] sim::Duration wire_time(std::int64_t wire_bytes) const;
+
+ private:
+  void receive(net::Frame f);
+  void arm_interrupt();
+  sim::Task<> dma_pump();
+  sim::Task<> wire_pump();
+  sim::Task<> isr();
+  sim::Task<> napi_poll();
+  sim::Task<> drain_rx(IsrContext& ctx);
+  sim::Task<> qdisc_pump();
+
+  Cpu& cpu_;
+  sim::Resource& bus_;
+  NicParams params_;
+  net::LinkParams wire_;
+  sim::Rng rng_;
+  std::string name_;
+
+  std::function<void(net::Frame)> peer_;
+  NicDriver* driver_ = nullptr;
+
+  sim::Queue<net::Frame> tx_ring_;
+  int tx_queued_ = 0;
+  sim::Signal tx_space_;
+  // Adapter FIFO between DMA and wire stages: a few frames deep, enough to
+  // overlap the stages without modelling the 64 KB FIFO byte-exactly.
+  sim::Queue<net::Frame> tx_fifo_;
+  sim::Resource tx_fifo_slots_;
+
+  sim::Queue<net::Frame> rx_ring_;
+  int rx_queued_ = 0;
+  bool irq_armed_ = false;
+  bool napi_polling_ = false;
+
+  std::deque<net::Frame> qdisc_;
+  bool qdisc_running_ = false;
+
+  sim::Counters counters_;
+};
+
+}  // namespace meshmp::hw

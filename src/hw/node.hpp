@@ -1,0 +1,57 @@
+#pragma once
+
+// One cluster node's hardware: a CPU, a shared PCI-X bus, and its network
+// adapters. The cluster builder wires adapters of neighbouring nodes together.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/cpu.hpp"
+#include "hw/nic.hpp"
+#include "hw/params.hpp"
+#include "sim/rng.hpp"
+
+namespace meshmp::hw {
+
+class NodeHw {
+ public:
+  NodeHw(sim::Engine& eng, net::NodeId id, HostParams host, BusParams bus)
+      : id_(id),
+        cpu_(eng, host),
+        // The bus is modelled as a serializing channel: one DMA at a time at
+        // full bus rate, so concurrent adapters share its bandwidth.
+        bus_(eng, 1),
+        bus_params_(bus) {}
+
+  NodeHw(const NodeHw&) = delete;
+  NodeHw& operator=(const NodeHw&) = delete;
+
+  Nic& add_nic(NicParams params, net::LinkParams wire, sim::Rng rng,
+               const std::string& name) {
+    // Scale the adapter's DMA rate down to what the shared bus can grant;
+    // the serialization through bus_ then shares it between adapters.
+    params.dma_bytes_per_sec =
+        std::min(params.dma_bytes_per_sec, bus_params_.bytes_per_sec);
+    nics_.push_back(
+        std::make_unique<Nic>(cpu_, bus_, params, wire, rng, name));
+    return *nics_.back();
+  }
+
+  [[nodiscard]] net::NodeId id() const noexcept { return id_; }
+  [[nodiscard]] Cpu& cpu() noexcept { return cpu_; }
+  [[nodiscard]] sim::Resource& bus() noexcept { return bus_; }
+  [[nodiscard]] std::vector<std::unique_ptr<Nic>>& nics() noexcept {
+    return nics_;
+  }
+  [[nodiscard]] Nic& nic(std::size_t i) { return *nics_.at(i); }
+
+ private:
+  net::NodeId id_;
+  Cpu cpu_;
+  sim::Resource bus_;
+  BusParams bus_params_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+};
+
+}  // namespace meshmp::hw

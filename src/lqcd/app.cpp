@@ -1,0 +1,182 @@
+#include "lqcd/app.hpp"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "mp/endpoint.hpp"
+#include "qmp/qmp.hpp"
+#include "sim/sync.hpp"
+
+namespace meshmp::lqcd {
+
+using sim::Task;
+
+namespace {
+
+std::int64_t pow4(int l) {
+  return static_cast<std::int64_t>(l) * l * l * l;
+}
+
+struct SharedClock {
+  sim::Time start = 0;
+  sim::Time end = 0;
+  int finished = 0;
+  double compute_ns_per_node = 0;
+};
+
+/// One GigE node's program: halo exchange in all six mesh directions via QMP
+/// relative handles, local dslash compute, global sum.
+Task<> gige_node(qmp::Machine& m, DslashRunConfig cfg, SharedClock& clock,
+                 int nnodes) {
+  const std::int64_t halo_bytes =
+      pow4(cfg.local_extent) / cfg.local_extent * cfg.bytes_per_halo_site;
+  const double flops_per_iter =
+      cfg.flops_per_site * static_cast<double>(pow4(cfg.local_extent));
+  auto& cpu = m.endpoint().agent().node().cpu();
+  auto& eng = cpu.engine();
+  const int ndims = m.num_dimensions();
+
+  qmp::MsgMem sendmem(static_cast<std::size_t>(halo_bytes));
+  qmp::MsgMem recvmem(static_cast<std::size_t>(halo_bytes));
+
+  co_await m.barrier();
+  if (m.node_number() == 0) clock.start = eng.now();
+
+  for (int iter = 0; iter < cfg.iterations; ++iter) {
+    // Surface exchange: all 2*ndims directions, concurrently (multi-port).
+    sim::TaskGroup group(eng);
+    std::vector<std::unique_ptr<qmp::MsgHandle>> handles;
+    for (int d = 0; d < ndims; ++d) {
+      for (int sign : {+1, -1}) {
+        auto sh = std::make_unique<qmp::MsgHandle>(
+            m.declare_send_relative(sendmem, d, sign));
+        auto rh = std::make_unique<qmp::MsgHandle>(
+            m.declare_receive_relative(recvmem, d, -sign));
+        m.start(*sh);
+        m.start(*rh);
+        group.add(m.wait(*sh));
+        group.add(m.wait(*rh));
+        handles.push_back(std::move(sh));
+        handles.push_back(std::move(rh));
+      }
+    }
+    co_await group.join();
+    // Local dslash application over the L^4 volume.
+    co_await cpu.compute_flops(flops_per_iter);
+    // The CG-style global reduction.
+    (void)co_await m.sum_double(1.0);
+  }
+
+  if (++clock.finished == nnodes) clock.end = eng.now();
+  clock.compute_ns_per_node = static_cast<double>(sim::transfer_time(
+      static_cast<std::int64_t>(flops_per_iter * cfg.iterations),
+      cpu.host().flops_per_sec));
+}
+
+Task<> myrinet_node(cluster::GmPort& port, const topo::Torus& logical,
+                    DslashRunConfig cfg, SharedClock& clock, int nnodes) {
+  const std::int64_t halo_bytes =
+      pow4(cfg.local_extent) / cfg.local_extent * cfg.bytes_per_halo_site;
+  const double flops_per_iter =
+      cfg.flops_per_site * static_cast<double>(pow4(cfg.local_extent));
+  auto& cpu = port.cpu();
+  auto& eng = cpu.engine();
+
+  // Nodes are laid out on a *logical* torus; physically everything crosses
+  // the switch, which is the whole point of the comparison.
+  const topo::Rank me = port.rank();
+  (void)co_await port.allreduce_sum(0.0);  // entry barrier
+  if (me == 0) clock.start = eng.now();
+
+  const std::vector<std::byte> halo(static_cast<std::size_t>(halo_bytes),
+                                    std::byte{0x5a});
+  auto recv_one = [](cluster::GmPort& p, int src, int tag) -> Task<> {
+    (void)co_await p.recv(src, tag);
+  };
+  for (int iter = 0; iter < cfg.iterations; ++iter) {
+    sim::TaskGroup group(eng);
+    for (int d = 0; d < logical.ndims(); ++d) {
+      for (int sign : {+1, -1}) {
+        const topo::Dir dir{static_cast<std::int8_t>(d),
+                            static_cast<std::int8_t>(sign)};
+        auto nb = logical.neighbor(me, dir);
+        if (!nb) continue;
+        group.add(port.send(static_cast<int>(*nb), 100 + dir.index(), halo));
+        // The (d,sign) neighbour's message to us travelled along its
+        // (d,-sign) link, which is how it tagged it.
+        group.add(recv_one(port, static_cast<int>(*nb),
+                           100 + dir.opposite().index()));
+      }
+    }
+    co_await group.join();
+    co_await cpu.compute_flops(flops_per_iter);
+    (void)co_await port.allreduce_sum(1.0);
+  }
+
+  if (++clock.finished == nnodes) clock.end = eng.now();
+  clock.compute_ns_per_node = static_cast<double>(sim::transfer_time(
+      static_cast<std::int64_t>(flops_per_iter * cfg.iterations),
+      cpu.host().flops_per_sec));
+}
+
+DslashRunResult summarize(const SharedClock& clock,
+                          const DslashRunConfig& cfg) {
+  DslashRunResult res;
+  res.seconds = sim::to_sec(clock.end - clock.start);
+  const double flops = cfg.flops_per_site *
+                       static_cast<double>(pow4(cfg.local_extent)) *
+                       cfg.iterations;
+  res.mflops_per_node = flops / 1e6 / res.seconds;
+  res.comm_fraction =
+      1.0 - clock.compute_ns_per_node /
+                static_cast<double>(clock.end - clock.start);
+  return res;
+}
+
+}  // namespace
+
+DslashRunResult run_dslash_gige(const topo::Coord& shape,
+                                const DslashRunConfig& cfg) {
+  cluster::GigeMeshConfig ccfg;
+  ccfg.shape = shape;
+  cluster::GigeMeshCluster c(ccfg);
+  std::vector<std::unique_ptr<mp::Endpoint>> eps;
+  std::vector<std::unique_ptr<qmp::Machine>> machines;
+  for (topo::Rank r = 0; r < c.size(); ++r) {
+    eps.push_back(
+        std::make_unique<mp::Endpoint>(c.agent(r), mp::CoreParams{}));
+    machines.push_back(std::make_unique<qmp::Machine>(*eps.back()));
+  }
+  SharedClock clock;
+  for (auto& m : machines) {
+    gige_node(*m, cfg, clock, static_cast<int>(c.size())).detach();
+  }
+  c.run();
+  return summarize(clock, cfg);
+}
+
+DslashRunResult run_dslash_myrinet(int nodes, const DslashRunConfig& cfg) {
+  cluster::MyrinetConfig mcfg;
+  mcfg.nodes = nodes;
+  cluster::MyrinetCluster c(mcfg);
+  // Logical 3-D torus factorization of the node count (e.g. 64 -> 4x4x4).
+  const int side = static_cast<int>(std::round(std::cbrt(nodes)));
+  topo::Coord shape{side, side, side};
+  if (side * side * side != nodes) {
+    shape = topo::Coord{nodes};  // fall back to a ring
+  }
+  const topo::Torus logical(shape);
+  SharedClock clock;
+  for (int r = 0; r < nodes; ++r) {
+    myrinet_node(c.port(r), logical, cfg, clock, nodes).detach();
+  }
+  c.run();
+  return summarize(clock, cfg);
+}
+
+double usd_per_mflops(double mflops_per_node, double node_usd) {
+  return node_usd / mflops_per_node;
+}
+
+}  // namespace meshmp::lqcd

@@ -1,0 +1,49 @@
+#pragma once
+
+// Cluster-scale LQCD benchmark model (paper sec. 6, Table 1).
+//
+// Each node owns an L^4 sub-lattice. Per iteration it exchanges the six 3-D
+// hypersurfaces (the three distributed lattice dimensions map onto the three
+// machine dimensions), applies Wilson dslash over the local volume, and joins
+// a global sum — the structure of one CG iteration. Arithmetic is charged to
+// the simulated CPU at the community-standard 1320 flops/site; surface data
+// is spin-projected single-precision half-spinors (12 floats = 48 B/site).
+//
+// The same workload runs on the GigE mesh (QMP over the modified M-VIA) and
+// on the Myrinet switched cluster (GM-like transport), reproducing the
+// paper's Gflops and $/Mflops comparison.
+
+#include <cstdint>
+
+#include "cluster/gige_mesh.hpp"
+#include "cluster/myrinet.hpp"
+#include "hw/params.hpp"
+#include "topo/torus.hpp"
+
+namespace meshmp::lqcd {
+
+struct DslashRunConfig {
+  int local_extent = 8;  ///< L: the node-local sub-lattice is L^4
+  int iterations = 10;
+  /// Bytes per surface site: 2 spins x 3 colors x complex x float.
+  std::int64_t bytes_per_halo_site = 48;
+  double flops_per_site = 1320.0;
+};
+
+struct DslashRunResult {
+  double seconds = 0;            ///< simulated wall time for all iterations
+  double mflops_per_node = 0;    ///< sustained, normalized to one node
+  double comm_fraction = 0;      ///< share of wall time not spent computing
+};
+
+/// Runs the benchmark on a GigE mesh/torus of the given shape (QMP/M-VIA).
+DslashRunResult run_dslash_gige(const topo::Coord& shape,
+                                const DslashRunConfig& cfg);
+
+/// Runs it on a switched Myrinet cluster with `nodes` nodes (power of two).
+DslashRunResult run_dslash_myrinet(int nodes, const DslashRunConfig& cfg);
+
+/// Price/performance (paper Table 1's $/Mflops columns).
+double usd_per_mflops(double mflops_per_node, double node_usd);
+
+}  // namespace meshmp::lqcd

@@ -1,0 +1,154 @@
+#include "lqcd/dslash.hpp"
+
+#include <cassert>
+
+namespace meshmp::lqcd {
+
+namespace {
+
+using Gamma = std::array<std::array<Complex, 4>, 4>;
+
+constexpr Complex I{0.0, 1.0};
+
+/// DeGrand-Rossi basis gamma matrices (x, y, z, t).
+const std::array<Gamma, 4>& gammas() {
+  static const std::array<Gamma, 4> g = [] {
+    std::array<Gamma, 4> a{};
+    // gamma_x
+    a[0][0][3] = I;
+    a[0][1][2] = I;
+    a[0][2][1] = -I;
+    a[0][3][0] = -I;
+    // gamma_y
+    a[1][0][3] = -1.0;
+    a[1][1][2] = 1.0;
+    a[1][2][1] = 1.0;
+    a[1][3][0] = -1.0;
+    // gamma_z
+    a[2][0][2] = I;
+    a[2][1][3] = -I;
+    a[2][2][0] = -I;
+    a[2][3][1] = I;
+    // gamma_t
+    a[3][0][2] = 1.0;
+    a[3][1][3] = 1.0;
+    a[3][2][0] = 1.0;
+    a[3][3][1] = 1.0;
+    return a;
+  }();
+  return g;
+}
+
+WilsonSpinor sub(const WilsonSpinor& a, const WilsonSpinor& b) {
+  WilsonSpinor r;
+  for (int s = 0; s < 4; ++s) r[s] = a[s] - b[s];
+  return r;
+}
+
+WilsonSpinor add(const WilsonSpinor& a, const WilsonSpinor& b) {
+  WilsonSpinor r;
+  for (int s = 0; s < 4; ++s) r[s] = a[s] + b[s];
+  return r;
+}
+
+/// Shared kernel: fwd_sign = -1 gives D, +1 gives D^dag (the gamma signs on
+/// the forward/backward hops swap under daggering).
+SpinorField hop(const Lattice4D& lat, const GaugeField& u,
+                const SpinorField& in, int fwd_sign) {
+  assert(in.size() == static_cast<std::size_t>(lat.volume()));
+  assert(u.size() == static_cast<std::size_t>(lat.volume()) * 4);
+  SpinorField out(in.size());
+  for (Lattice4D::Site x = 0; x < lat.volume(); ++x) {
+    WilsonSpinor acc{};
+    for (int mu = 0; mu < 4; ++mu) {
+      // forward hop: U_mu(x) (1 + fwd_sign*gamma_mu) psi(x+mu)
+      const auto xf = lat.neighbor(x, mu, +1);
+      const WilsonSpinor& f = in[static_cast<std::size_t>(xf)];
+      WilsonSpinor pf = fwd_sign < 0 ? sub(f, apply_gamma(mu, f))
+                                     : add(f, apply_gamma(mu, f));
+      const Su3Matrix& ufwd =
+          u[static_cast<std::size_t>(x) * 4 + static_cast<std::size_t>(mu)];
+      for (int s = 0; s < 4; ++s) acc[s] += ufwd * pf[s];
+
+      // backward hop: U_mu(x-mu)^dag (1 - fwd_sign*gamma_mu) psi(x-mu)
+      const auto xb = lat.neighbor(x, mu, -1);
+      const WilsonSpinor& b = in[static_cast<std::size_t>(xb)];
+      WilsonSpinor pb = fwd_sign < 0 ? add(b, apply_gamma(mu, b))
+                                     : sub(b, apply_gamma(mu, b));
+      const Su3Matrix ubwd =
+          u[static_cast<std::size_t>(xb) * 4 + static_cast<std::size_t>(mu)]
+              .adjoint();
+      for (int s = 0; s < 4; ++s) acc[s] += ubwd * pb[s];
+    }
+    out[static_cast<std::size_t>(x)] = acc;
+  }
+  return out;
+}
+
+}  // namespace
+
+WilsonSpinor apply_gamma(int mu, const WilsonSpinor& in) {
+  const Gamma& g = gammas()[static_cast<std::size_t>(mu)];
+  WilsonSpinor out;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      const Complex& coeff = g[static_cast<std::size_t>(r)]
+                              [static_cast<std::size_t>(c)];
+      if (coeff == Complex{0.0}) continue;
+      out[r] += coeff * in[c];
+    }
+  }
+  return out;
+}
+
+WilsonSpinor apply_gamma5(const WilsonSpinor& in) {
+  WilsonSpinor out = in;
+  out[2] = Complex{-1.0} * in[2];
+  out[3] = Complex{-1.0} * in[3];
+  return out;
+}
+
+Complex inner_product(const std::vector<WilsonSpinor>& a,
+                      const std::vector<WilsonSpinor>& b) {
+  assert(a.size() == b.size());
+  Complex sum = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (int s = 0; s < 4; ++s) sum += dot(a[i][s], b[i][s]);
+  }
+  return sum;
+}
+
+GaugeField unit_gauge(const Lattice4D& lat) {
+  return GaugeField(static_cast<std::size_t>(lat.volume()) * 4,
+                    Su3Matrix::identity());
+}
+
+GaugeField random_gauge(const Lattice4D& lat, sim::Rng& rng) {
+  GaugeField u(static_cast<std::size_t>(lat.volume()) * 4);
+  for (auto& link : u) link = random_su3(rng);
+  return u;
+}
+
+SpinorField random_spinor_field(const Lattice4D& lat, sim::Rng& rng) {
+  SpinorField f(static_cast<std::size_t>(lat.volume()));
+  for (auto& sp : f) {
+    for (int s = 0; s < 4; ++s) {
+      for (int c = 0; c < 3; ++c) {
+        sp[s][c] = Complex{rng.uniform01() * 2 - 1, rng.uniform01() * 2 - 1};
+      }
+    }
+  }
+  return f;
+}
+
+SpinorField dslash(const Lattice4D& lat, const GaugeField& u,
+                   const SpinorField& in) {
+  return hop(lat, u, in, -1);
+}
+
+SpinorField dslash_dagger(const Lattice4D& lat, const GaugeField& u,
+                          const SpinorField& in) {
+  return hop(lat, u, in, +1);
+}
+
+}  // namespace meshmp::lqcd

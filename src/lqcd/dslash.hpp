@@ -1,0 +1,69 @@
+#pragma once
+
+// Wilson dslash: the hopping term of the Wilson fermion matrix,
+//
+//   (D psi)(x) = sum_mu [ U_mu(x) (1 - gamma_mu) psi(x+mu)
+//                       + U_mu(x-mu)^dag (1 + gamma_mu) psi(x-mu) ].
+//
+// This is the reference (single-node, periodic) implementation with explicit
+// gamma-matrix algebra in the DeGrand-Rossi basis; production kernels use the
+// spin-projection trick, whose standard flop count (1320/site) the cluster
+// performance model charges.
+
+#include <vector>
+
+#include "lqcd/lattice.hpp"
+#include "lqcd/su3.hpp"
+#include "sim/rng.hpp"
+
+namespace meshmp::lqcd {
+
+/// A Wilson spinor: 4 spin components, each a color vector.
+struct WilsonSpinor {
+  std::array<ColorVector, 4> s{};
+
+  ColorVector& operator[](int spin) {
+    return s[static_cast<std::size_t>(spin)];
+  }
+  const ColorVector& operator[](int spin) const {
+    return s[static_cast<std::size_t>(spin)];
+  }
+  WilsonSpinor& operator+=(const WilsonSpinor& o) {
+    for (int i = 0; i < 4; ++i) s[static_cast<std::size_t>(i)] += o[i];
+    return *this;
+  }
+  [[nodiscard]] double norm2() const {
+    double n = 0;
+    for (const auto& v : s) n += v.norm2();
+    return n;
+  }
+};
+
+/// Complex inner product <a, b> over a whole field.
+Complex inner_product(const std::vector<WilsonSpinor>& a,
+                      const std::vector<WilsonSpinor>& b);
+
+/// gamma_mu in the DeGrand-Rossi basis, applied to a spinor.
+WilsonSpinor apply_gamma(int mu, const WilsonSpinor& in);
+
+/// gamma_5 (= gamma_0 gamma_1 gamma_2 gamma_3 up to phase; diagonal
+/// (+1,+1,-1,-1) in this basis).
+WilsonSpinor apply_gamma5(const WilsonSpinor& in);
+
+/// A gauge field: links[site*4 + mu] = U_mu(site).
+using GaugeField = std::vector<Su3Matrix>;
+using SpinorField = std::vector<WilsonSpinor>;
+
+GaugeField unit_gauge(const Lattice4D& lat);
+GaugeField random_gauge(const Lattice4D& lat, sim::Rng& rng);
+SpinorField random_spinor_field(const Lattice4D& lat, sim::Rng& rng);
+
+/// out = D in  (periodic boundaries). Returns the field.
+SpinorField dslash(const Lattice4D& lat, const GaugeField& u,
+                   const SpinorField& in);
+
+/// out = D^dag in, implemented directly (for the gamma5-hermiticity test).
+SpinorField dslash_dagger(const Lattice4D& lat, const GaugeField& u,
+                          const SpinorField& in);
+
+}  // namespace meshmp::lqcd

@@ -1,0 +1,101 @@
+#include "lqcd/even_odd.hpp"
+
+#include <cassert>
+
+namespace meshmp::lqcd {
+
+EvenOddLayout::EvenOddLayout(const Lattice4D& lat)
+    : to_half_(static_cast<std::size_t>(lat.volume())) {
+  for (Lattice4D::Site s = 0; s < lat.volume(); ++s) {
+    auto& bucket = to_full_[static_cast<std::size_t>(lat.parity(s))];
+    to_half_[static_cast<std::size_t>(s)] =
+        static_cast<Lattice4D::Site>(bucket.size());
+    bucket.push_back(s);
+  }
+  assert(to_full_[0].size() == to_full_[1].size() &&
+         "even-odd needs an even site count");
+}
+
+std::pair<SpinorField, SpinorField> EvenOddLayout::split(
+    const SpinorField& full) const {
+  SpinorField even(to_full_[0].size());
+  SpinorField odd(to_full_[1].size());
+  for (std::size_t i = 0; i < to_full_[0].size(); ++i) {
+    even[i] = full[static_cast<std::size_t>(to_full_[0][i])];
+  }
+  for (std::size_t i = 0; i < to_full_[1].size(); ++i) {
+    odd[i] = full[static_cast<std::size_t>(to_full_[1][i])];
+  }
+  return {std::move(even), std::move(odd)};
+}
+
+SpinorField EvenOddLayout::join(const SpinorField& even,
+                                const SpinorField& odd) const {
+  SpinorField full(even.size() + odd.size());
+  for (std::size_t i = 0; i < even.size(); ++i) {
+    full[static_cast<std::size_t>(to_full_[0][i])] = even[i];
+  }
+  for (std::size_t i = 0; i < odd.size(); ++i) {
+    full[static_cast<std::size_t>(to_full_[1][i])] = odd[i];
+  }
+  return full;
+}
+
+SpinorField dslash_parity(const Lattice4D& lat, const EvenOddLayout& layout,
+                          const GaugeField& u, const SpinorField& in_half,
+                          int target_parity) {
+  assert(in_half.size() == static_cast<std::size_t>(layout.half_volume()));
+  SpinorField out(static_cast<std::size_t>(layout.half_volume()));
+  for (Lattice4D::Site i = 0; i < layout.half_volume(); ++i) {
+    const Lattice4D::Site x = layout.full_site(target_parity, i);
+    WilsonSpinor acc{};
+    for (int mu = 0; mu < 4; ++mu) {
+      // forward: U_mu(x) (1 - gamma_mu) psi(x+mu)
+      const auto xf = lat.neighbor(x, mu, +1);
+      const WilsonSpinor& f =
+          in_half[static_cast<std::size_t>(layout.half_index(xf))];
+      WilsonSpinor pf;
+      {
+        const WilsonSpinor g = apply_gamma(mu, f);
+        for (int s = 0; s < 4; ++s) pf[s] = f[s] - g[s];
+      }
+      const Su3Matrix& ufwd =
+          u[static_cast<std::size_t>(x) * 4 + static_cast<std::size_t>(mu)];
+      for (int s = 0; s < 4; ++s) acc[s] += ufwd * pf[s];
+
+      // backward: U_mu(x-mu)^dag (1 + gamma_mu) psi(x-mu)
+      const auto xb = lat.neighbor(x, mu, -1);
+      const WilsonSpinor& b =
+          in_half[static_cast<std::size_t>(layout.half_index(xb))];
+      WilsonSpinor pb;
+      {
+        const WilsonSpinor g = apply_gamma(mu, b);
+        for (int s = 0; s < 4; ++s) pb[s] = b[s] + g[s];
+      }
+      const Su3Matrix ubwd =
+          u[static_cast<std::size_t>(xb) * 4 + static_cast<std::size_t>(mu)]
+              .adjoint();
+      for (int s = 0; s < 4; ++s) acc[s] += ubwd * pb[s];
+    }
+    out[static_cast<std::size_t>(i)] = acc;
+  }
+  return out;
+}
+
+SpinorField schur_even(const Lattice4D& lat, const EvenOddLayout& layout,
+                       const GaugeField& u, const SpinorField& in_even,
+                       double m) {
+  // (m^2 - D_eo D_oe) x_e
+  const SpinorField odd = dslash_parity(lat, layout, u, in_even, 1);
+  const SpinorField hop = dslash_parity(lat, layout, u, odd, 0);
+  SpinorField out(in_even.size());
+  const Complex m2{m * m};
+  for (std::size_t i = 0; i < in_even.size(); ++i) {
+    for (int s = 0; s < 4; ++s) {
+      out[i][s] = m2 * in_even[i][s] - hop[i][s];
+    }
+  }
+  return out;
+}
+
+}  // namespace meshmp::lqcd

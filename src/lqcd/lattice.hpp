@@ -1,0 +1,90 @@
+#pragma once
+
+// 4-D periodic lattice geometry: site indexing, neighbours, and per-face
+// surface enumeration (the 3-D hypersurfaces a node exchanges with its mesh
+// neighbours).
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace meshmp::lqcd {
+
+class Lattice4D {
+ public:
+  using Site = std::int32_t;
+
+  explicit Lattice4D(std::array<int, 4> dims) : dims_(dims) {
+    volume_ = 1;
+    for (int d : dims_) {
+      assert(d >= 2);
+      volume_ *= d;
+    }
+  }
+
+  [[nodiscard]] int dim(int mu) const {
+    return dims_[static_cast<std::size_t>(mu)];
+  }
+  [[nodiscard]] Site volume() const { return volume_; }
+
+  [[nodiscard]] Site index(std::array<int, 4> x) const {
+    Site s = 0;
+    for (int mu = 3; mu >= 0; --mu) {
+      const int d = dims_[static_cast<std::size_t>(mu)];
+      const int xi = x[static_cast<std::size_t>(mu)];
+      assert(xi >= 0 && xi < d);
+      s = s * d + xi;
+    }
+    return s;
+  }
+
+  [[nodiscard]] std::array<int, 4> coords(Site s) const {
+    std::array<int, 4> x{};
+    for (int mu = 0; mu < 4; ++mu) {
+      const int d = dims_[static_cast<std::size_t>(mu)];
+      x[static_cast<std::size_t>(mu)] = static_cast<int>(s % d);
+      s /= d;
+    }
+    return x;
+  }
+
+  /// Periodic neighbour one step along +-mu.
+  [[nodiscard]] Site neighbor(Site s, int mu, int sign) const {
+    auto x = coords(s);
+    const int d = dims_[static_cast<std::size_t>(mu)];
+    x[static_cast<std::size_t>(mu)] =
+        (x[static_cast<std::size_t>(mu)] + sign + d) % d;
+    return index(x);
+  }
+
+  /// Parity of a site (even/odd checkerboard).
+  [[nodiscard]] int parity(Site s) const {
+    const auto x = coords(s);
+    return (x[0] + x[1] + x[2] + x[3]) & 1;
+  }
+
+  /// Sites on the face x_mu == (sign>0 ? dim-1 : 0): the 3-D hypersurface
+  /// sent to the +-mu neighbour node in a distributed run.
+  [[nodiscard]] std::vector<Site> face(int mu, int sign) const {
+    std::vector<Site> sites;
+    const int fixed = sign > 0 ? dims_[static_cast<std::size_t>(mu)] - 1 : 0;
+    for (Site s = 0; s < volume_; ++s) {
+      if (coords(s)[static_cast<std::size_t>(mu)] == fixed) {
+        sites.push_back(s);
+      }
+    }
+    return sites;
+  }
+
+  /// Surface sites per face along mu (= volume / dim(mu)).
+  [[nodiscard]] Site face_sites(int mu) const {
+    return volume_ / dims_[static_cast<std::size_t>(mu)];
+  }
+
+ private:
+  std::array<int, 4> dims_;
+  Site volume_;
+};
+
+}  // namespace meshmp::lqcd

@@ -1,0 +1,39 @@
+#include "lqcd/su3.hpp"
+
+namespace meshmp::lqcd {
+
+Su3Matrix random_su3(sim::Rng& rng) {
+  auto rand_row = [&rng] {
+    ColorVector v;
+    for (int i = 0; i < 3; ++i) {
+      v[i] = Complex{rng.uniform01() * 2 - 1, rng.uniform01() * 2 - 1};
+    }
+    return v;
+  };
+  // Gram-Schmidt two random rows, then complete with the conjugate cross
+  // product so the determinant is exactly +1.
+  ColorVector r0 = rand_row();
+  const double n0 = std::sqrt(r0.norm2());
+  r0 = Complex{1.0 / n0} * r0;
+
+  ColorVector r1 = rand_row();
+  const Complex proj = dot(r0, r1);
+  for (int i = 0; i < 3; ++i) r1[i] -= proj * r0[i];
+  const double n1 = std::sqrt(r1.norm2());
+  r1 = Complex{1.0 / n1} * r1;
+
+  ColorVector r2;
+  r2[0] = std::conj(r0[1] * r1[2] - r0[2] * r1[1]);
+  r2[1] = std::conj(r0[2] * r1[0] - r0[0] * r1[2]);
+  r2[2] = std::conj(r0[0] * r1[1] - r0[1] * r1[0]);
+
+  Su3Matrix u;
+  for (int c = 0; c < 3; ++c) {
+    u.at(0, c) = r0[c];
+    u.at(1, c) = r1[c];
+    u.at(2, c) = r2[c];
+  }
+  return u;
+}
+
+}  // namespace meshmp::lqcd

@@ -1,0 +1,135 @@
+#pragma once
+
+// SU(3) color algebra: the arithmetic an LQCD code spends its life on
+// (paper sec. 1: "calculating determinants and inverses of 3x3 complex
+// matrices and communicating 3-D hyper-surface data").
+
+#include <array>
+#include <cmath>
+#include <complex>
+#include <cstdint>
+
+#include "sim/rng.hpp"
+
+namespace meshmp::lqcd {
+
+using Complex = std::complex<double>;
+
+/// A color 3-vector.
+struct ColorVector {
+  std::array<Complex, 3> c{};
+
+  Complex& operator[](int i) { return c[static_cast<std::size_t>(i)]; }
+  const Complex& operator[](int i) const {
+    return c[static_cast<std::size_t>(i)];
+  }
+
+  ColorVector& operator+=(const ColorVector& o) {
+    for (int i = 0; i < 3; ++i) c[static_cast<std::size_t>(i)] += o[i];
+    return *this;
+  }
+  ColorVector& operator-=(const ColorVector& o) {
+    for (int i = 0; i < 3; ++i) c[static_cast<std::size_t>(i)] -= o[i];
+    return *this;
+  }
+  friend ColorVector operator+(ColorVector a, const ColorVector& b) {
+    return a += b;
+  }
+  friend ColorVector operator-(ColorVector a, const ColorVector& b) {
+    return a -= b;
+  }
+  friend ColorVector operator*(Complex s, const ColorVector& v) {
+    ColorVector r;
+    for (int i = 0; i < 3; ++i) r[i] = s * v[i];
+    return r;
+  }
+  [[nodiscard]] double norm2() const {
+    double n = 0;
+    for (const auto& z : c) n += std::norm(z);
+    return n;
+  }
+};
+
+inline Complex dot(const ColorVector& a, const ColorVector& b) {
+  Complex s = 0;
+  for (int i = 0; i < 3; ++i) s += std::conj(a[i]) * b[i];
+  return s;
+}
+
+/// A 3x3 complex (gauge link) matrix.
+struct Su3Matrix {
+  std::array<Complex, 9> m{};
+
+  Complex& at(int r, int c) { return m[static_cast<std::size_t>(r * 3 + c)]; }
+  const Complex& at(int r, int c) const {
+    return m[static_cast<std::size_t>(r * 3 + c)];
+  }
+
+  static Su3Matrix identity() {
+    Su3Matrix u;
+    u.at(0, 0) = u.at(1, 1) = u.at(2, 2) = 1.0;
+    return u;
+  }
+
+  [[nodiscard]] Su3Matrix adjoint() const {
+    Su3Matrix a;
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) a.at(r, c) = std::conj(at(c, r));
+    }
+    return a;
+  }
+
+  friend Su3Matrix operator*(const Su3Matrix& a, const Su3Matrix& b) {
+    Su3Matrix r;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        Complex s = 0;
+        for (int k = 0; k < 3; ++k) s += a.at(i, k) * b.at(k, j);
+        r.at(i, j) = s;
+      }
+    }
+    return r;
+  }
+
+  friend ColorVector operator*(const Su3Matrix& a, const ColorVector& v) {
+    ColorVector r;
+    for (int i = 0; i < 3; ++i) {
+      Complex s = 0;
+      for (int k = 0; k < 3; ++k) s += a.at(i, k) * v[k];
+      r[i] = s;
+    }
+    return r;
+  }
+
+  [[nodiscard]] Complex det() const {
+    return at(0, 0) * (at(1, 1) * at(2, 2) - at(1, 2) * at(2, 1)) -
+           at(0, 1) * (at(1, 0) * at(2, 2) - at(1, 2) * at(2, 0)) +
+           at(0, 2) * (at(1, 0) * at(2, 1) - at(1, 1) * at(2, 0));
+  }
+
+  /// Deviation from unitarity: max |(U U† - 1)_ij|.
+  [[nodiscard]] double unitarity_error() const {
+    const Su3Matrix p = *this * adjoint();
+    double e = 0;
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) {
+        const Complex expect = r == c ? Complex{1.0} : Complex{0.0};
+        e = std::max(e, std::abs(p.at(r, c) - expect));
+      }
+    }
+    return e;
+  }
+};
+
+/// Random SU(3) matrix: random complex entries, Gram-Schmidt the rows, fix
+/// the determinant to 1 (the standard construction for test gauge fields).
+Su3Matrix random_su3(sim::Rng& rng);
+
+/// Flop-count constants (complex mul = 6 flops, complex add = 2 flops).
+inline constexpr std::int64_t kFlopsSu3MatVec = 66;   // 9 cmul + 6 cadd
+inline constexpr std::int64_t kFlopsSu3MatMat = 198;  // 27 cmul + 18 cadd
+/// The community-standard count for one Wilson dslash application per site
+/// (with spin projection, which production kernels use).
+inline constexpr std::int64_t kFlopsWilsonDslashPerSite = 1320;
+
+}  // namespace meshmp::lqcd

@@ -1,0 +1,190 @@
+#pragma once
+
+// The common message-passing core both MPI and QMP sit on (paper sec. 5).
+//
+// Per peer there is one *outgoing* VI (dialed lazily by the sender) and, on
+// the peer, one incoming VI managed by its accept loop. On every channel:
+//
+//  * token flow control: a sender holds one token per in-flight message;
+//    tokens mirror the receive descriptors pre-posted on the peer's incoming
+//    VI and come back piggybacked on reverse traffic or as explicit credit
+//    messages (paper sec. 5.1, bullet 2);
+//  * eager protocol below 16 KiB: user buffer -> bounce buffer copy, then a
+//    VIA send into a pre-posted descriptor; the receiver copies bounce ->
+//    user at match time (two copies total);
+//  * rendezvous + RMA at/above 16 KiB: RTS announcement, receiver-side
+//    matching, RTR with a registered-memory token, sender RMA write
+//    (zero-copy: the only copy is the kernel's receive-interrupt copy), FIN.
+//
+// Receiver-side matching supports MPI wildcards; RTRs are matched on the
+// *sender* side by rendezvous id (the paper's sender-side matching).
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mp/params.hpp"
+#include "mp/wire.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "via/agent.hpp"
+
+namespace meshmp::mp {
+
+struct Message {
+  int src = -1;
+  int tag = 0;
+  std::vector<std::byte> data;
+};
+
+class Endpoint {
+ public:
+  static constexpr int kAny = -1;
+
+  Endpoint(via::KernelAgent& agent, CoreParams params);
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  [[nodiscard]] int rank() const noexcept { return agent_.node_id(); }
+  [[nodiscard]] via::KernelAgent& agent() noexcept { return agent_; }
+  [[nodiscard]] sim::Engine& engine() noexcept {
+    return agent_.node().cpu().engine();
+  }
+  [[nodiscard]] const CoreParams& params() const noexcept { return params_; }
+
+  /// Sends `data` to rank `dst` with `tag` (0..kMaxTag). Completes when the
+  /// buffer is reusable: immediately after the bounce copy for eager sends,
+  /// after the matching receive was found for rendezvous sends.
+  sim::Task<> send(int dst, int tag, std::vector<std::byte> data);
+
+  /// Receives the next message matching (src, tag); kAny is a wildcard.
+  /// When tag != kAny, only bits selected by `tag_mask` participate in the
+  /// match — MPI uses this to keep ANY_TAG inside the user tag class.
+  sim::Task<Message> recv(int src = kAny, int tag = kAny, int tag_mask = ~0);
+
+  /// Metadata of a matchable incoming message (MPI_Probe-style).
+  struct ProbeResult {
+    int src = 0;
+    int tag = 0;
+    std::int64_t bytes = 0;
+  };
+
+  /// Blocks until a message matching (src, tag) has arrived but not been
+  /// received, and returns its envelope without consuming it.
+  sim::Task<ProbeResult> probe(int src = kAny, int tag = kAny,
+                               int tag_mask = ~0);
+
+  /// Non-blocking probe.
+  std::optional<ProbeResult> iprobe(int src = kAny, int tag = kAny,
+                                    int tag_mask = ~0);
+
+  /// Number of unexpected (arrived but unmatched) messages — diagnostics.
+  [[nodiscard]] std::size_t unexpected_count() const noexcept {
+    return unexpected_.size();
+  }
+
+  [[nodiscard]] const sim::Counters& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  struct OutChannel {
+    explicit OutChannel(sim::Engine& eng) : token_ready(eng), dialed(eng) {}
+    via::Vi* vi = nullptr;
+    int tokens = 0;
+    sim::Signal token_ready;
+    bool dialing = false;
+    sim::Trigger dialed;
+  };
+
+  struct InVi {
+    via::Vi* vi = nullptr;
+    int returnable = 0;  ///< consumed descriptors not yet credited back
+  };
+
+  struct PostedRecv {
+    int src = kAny;
+    int tag = kAny;
+    int tag_mask = ~0;
+    bool done = false;
+    Message msg;
+    std::unique_ptr<sim::Trigger> ready;
+  };
+
+  struct Unexpected {
+    int src = 0;
+    int tag = 0;
+    bool is_rts = false;
+    std::vector<std::byte> data;  // eager payload
+    std::uint32_t rts_id = 0;
+    std::uint64_t rts_size = 0;
+  };
+
+  struct PendingRndvSend {
+    std::vector<std::byte> data;
+    int dst = 0;
+    std::unique_ptr<sim::Trigger> matched;
+  };
+
+  struct RndvRecv {
+    via::MemToken token;
+    std::shared_ptr<PostedRecv> posted;
+    int src = 0;
+    int tag = 0;
+    std::uint64_t size = 0;
+  };
+
+  static std::uint64_t rndv_key(int src, std::uint32_t id) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+            << 32) |
+           id;
+  }
+
+  sim::Task<OutChannel*> out_channel(int dst);
+  sim::Task<> take_token(OutChannel& ch);
+  /// Attaches any pending credits for `peer`'s incoming VI to `imm`.
+  void piggyback_credits(int peer, Imm& imm);
+  void apply_credits(const Imm& imm);
+
+  sim::Task<> accept_loop();
+  sim::Task<> pump(via::Vi* vi, int peer);
+  sim::Task<> handle_eager(int src, int tag, std::vector<std::byte> data);
+  sim::Task<> handle_rts(int src, const RtsBody& rts);
+  sim::Task<> issue_rtr(std::shared_ptr<PostedRecv> posted, int src,
+                        std::uint32_t id, std::uint64_t size, int tag);
+  sim::Task<> handle_rtr(int src, const RtrBody& rtr);
+  sim::Task<> handle_fin(int src, std::uint32_t id);
+  sim::Task<> maybe_return_credits(int peer, InVi& in);
+  sim::Task<> deliver_local(int tag, std::vector<std::byte> data);
+
+  static bool tag_matches(int want, int mask, int got) {
+    return want == kAny || (want & mask) == (got & mask);
+  }
+  /// First posted receive compatible with (src, tag), or null.
+  std::shared_ptr<PostedRecv> match_posted(int src, int tag);
+  void complete(PostedRecv& posted, Message msg);
+
+  via::KernelAgent& agent_;
+  CoreParams params_;
+
+  std::unordered_map<int, std::unique_ptr<OutChannel>> out_;
+  std::unordered_map<std::uint32_t, OutChannel*> out_by_vi_;  // local vi id
+  std::unordered_map<int, std::vector<std::unique_ptr<InVi>>> in_;
+
+  std::deque<std::shared_ptr<PostedRecv>> posted_;
+  std::deque<Unexpected> unexpected_;
+  std::unique_ptr<sim::Signal> unexpected_arrived_;
+
+  std::uint32_t next_rndv_id_ = 1;
+  std::unordered_map<std::uint32_t, std::unique_ptr<PendingRndvSend>>
+      pending_rndv_;
+  std::unordered_map<std::uint64_t, RndvRecv> rndv_recv_;
+
+  sim::Counters counters_;
+};
+
+}  // namespace meshmp::mp

@@ -1,0 +1,31 @@
+#pragma once
+
+// Tunables of the common message-passing core shared by MPI and QMP.
+
+#include <cstdint>
+
+namespace meshmp::mp {
+
+struct CoreParams {
+  /// Protocol switch point (paper sec. 5.1): messages below go eager through
+  /// pre-posted bounce buffers; messages at/above go rendezvous + RMA write.
+  std::int64_t eager_threshold = 16 * 1024;
+
+  /// Flow-control tokens per channel == pre-posted receive descriptors on
+  /// the incoming VI (paper sec. 5.1, second design bullet).
+  int tokens = 32;
+
+  /// Extra descriptors kept posted beyond the advertised tokens so that
+  /// explicit credit messages (which deliberately bypass flow control to
+  /// avoid deadlock) always find a descriptor.
+  int control_slack = 4;
+
+  /// Return credits once this many have accumulated (and no application
+  /// message has piggybacked them sooner).
+  int credit_return_threshold = 16;
+
+  /// VIA service id the endpoints rendezvous on.
+  std::uint32_t service = 0x4D50;  // "MP"
+};
+
+}  // namespace meshmp::mp

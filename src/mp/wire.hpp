@@ -1,0 +1,85 @@
+#pragma once
+
+// On-the-wire encoding of the message-passing core's protocol:
+//  * the VIA 64-bit immediate carries message kind, piggybacked credits and
+//    a 24-bit tag/id field;
+//  * RTS/RTR control payloads are serialized little structs (real bytes, so
+//    they survive fragmentation/corruption tests like everything else).
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "via/memory.hpp"
+
+namespace meshmp::mp {
+
+enum class WireKind : std::uint8_t {
+  kEager = 1,   ///< small message; payload = user bytes
+  kRts = 2,     ///< rendezvous announcement {size, id, tag}
+  kRtr = 3,     ///< ready-to-receive {id, memory token}
+  kFin = 4,     ///< rendezvous data complete (id in tag field)
+  kCredit = 5,  ///< explicit flow-control credit return
+};
+
+/// Largest tag representable on the wire (24 bits).
+inline constexpr std::int32_t kMaxTag = (1 << 24) - 1;
+
+/// Immediate layout: [63:56] kind | [55:40] credits | [39:24] credit VI |
+/// [23:0] tag (kEager/kRts) or rendezvous id (kFin).
+struct Imm {
+  WireKind kind = WireKind::kEager;
+  std::uint16_t credits = 0;
+  std::uint16_t credit_vi = 0;
+  std::uint32_t tag = 0;
+
+  [[nodiscard]] std::uint64_t pack() const {
+    return (static_cast<std::uint64_t>(kind) << 56) |
+           (static_cast<std::uint64_t>(credits) << 40) |
+           (static_cast<std::uint64_t>(credit_vi) << 24) |
+           (static_cast<std::uint64_t>(tag) & 0xffffffu);
+  }
+  static Imm unpack(std::uint64_t v) {
+    Imm i;
+    i.kind = static_cast<WireKind>((v >> 56) & 0xff);
+    i.credits = static_cast<std::uint16_t>((v >> 40) & 0xffff);
+    i.credit_vi = static_cast<std::uint16_t>((v >> 24) & 0xffff);
+    i.tag = static_cast<std::uint32_t>(v & 0xffffffu);
+    return i;
+  }
+};
+
+struct RtsBody {
+  std::uint64_t size = 0;
+  std::uint32_t id = 0;
+  std::int32_t tag = 0;
+};
+
+struct RtrBody {
+  std::uint32_t id = 0;
+  std::uint32_t handle = 0;
+  std::uint32_t key = 0;
+  std::uint64_t bytes = 0;
+};
+
+template <typename T>
+std::vector<std::byte> serialize(const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::byte> out(sizeof(T));
+  std::memcpy(out.data(), &v, sizeof(T));
+  return out;
+}
+
+template <typename T>
+T deserialize(const std::vector<std::byte>& bytes) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (bytes.size() != sizeof(T)) {
+    throw std::runtime_error("mp::deserialize: size mismatch");
+  }
+  T v;
+  std::memcpy(&v, bytes.data(), sizeof(T));
+  return v;
+}
+
+}  // namespace meshmp::mp

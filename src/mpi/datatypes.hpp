@@ -1,0 +1,54 @@
+#pragma once
+
+// Typed <-> byte-buffer conversion helpers for the MPI subset. MPI 1.1's
+// basic datatypes map to trivially copyable C++ types; derived datatypes are
+// out of scope (the paper's applications use contiguous buffers).
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+namespace meshmp::mpi {
+
+template <typename T>
+std::vector<std::byte> to_bytes(const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::byte> out(v.size() * sizeof(T));
+  if (!v.empty()) std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+template <typename T>
+std::vector<std::byte> to_bytes(const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::byte> out(sizeof(T));
+  std::memcpy(out.data(), &v, sizeof(T));
+  return out;
+}
+
+template <typename T>
+std::vector<T> from_bytes(std::span<const std::byte> bytes) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (bytes.size() % sizeof(T) != 0) {
+    throw std::invalid_argument("from_bytes: size not a multiple of type");
+  }
+  std::vector<T> out(bytes.size() / sizeof(T));
+  if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+template <typename T>
+T scalar_from_bytes(std::span<const std::byte> bytes) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (bytes.size() != sizeof(T)) {
+    throw std::invalid_argument("scalar_from_bytes: size mismatch");
+  }
+  T v;
+  std::memcpy(&v, bytes.data(), sizeof(T));
+  return v;
+}
+
+}  // namespace meshmp::mpi

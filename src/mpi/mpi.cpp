@@ -1,0 +1,257 @@
+#include "mpi/mpi.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace meshmp::mpi {
+
+using sim::Task;
+
+namespace {
+constexpr int kClassBit = 1 << 23;
+constexpr int kCtxShift = 19;
+constexpr int kCtxMask = 0xF << kCtxShift;
+constexpr std::uint32_t kMaxCtx = 14;  // 15 reserved for QMP
+}  // namespace
+
+bool Request::done() const noexcept { return st_ && st_->finished; }
+
+std::vector<std::byte> Request::take_data() {
+  if (!st_ || !st_->finished) {
+    throw std::logic_error("Request::take_data before completion");
+  }
+  return std::move(st_->data);
+}
+
+const Status& Request::status() const {
+  if (!st_ || !st_->finished) {
+    throw std::logic_error("Request::status before completion");
+  }
+  return st_->status;
+}
+
+Comm Comm::dup() const {
+  const std::uint32_t ctx = (*next_ctx_)++;
+  if (ctx > kMaxCtx) {
+    throw std::runtime_error("Comm::dup: out of communicator contexts");
+  }
+  return Comm(*ep_, ctx, next_ctx_);
+}
+
+int Comm::user_tag(int tag) const {
+  if (tag < 0 || tag > kTagUb) {
+    throw std::invalid_argument("MPI tag out of range");
+  }
+  return static_cast<int>(ctx_ << kCtxShift) | tag;
+}
+
+int Comm::any_tag_value() const {
+  return static_cast<int>(ctx_ << kCtxShift);
+}
+
+int Comm::any_tag_mask() { return kClassBit | kCtxMask; }
+
+int Comm::coll_tag(int op) {
+  // Ops are spaced so multi-phase collectives (reduce+bcast, data+hop-ack)
+  // can use op and op+1; the per-communicator sequence number separates
+  // consecutive instances.
+  const std::uint32_t seq = coll_seq_++ & 0xffu;
+  return kClassBit | static_cast<int>(ctx_ << kCtxShift) |
+         static_cast<int>(seq << 11) | op;
+}
+
+Task<> Comm::send(std::vector<std::byte> data, int dest, int tag) {
+  co_await ep_->send(dest, user_tag(tag), std::move(data));
+}
+
+Task<Status> Comm::recv(std::vector<std::byte>& out, int source, int tag) {
+  // ANY_TAG is restricted to this communicator's user tag class via a mask.
+  // (co_await deliberately kept out of conditional expressions: GCC 12
+  // miscompiles temporaries there.)
+  mp::Message msg;
+  if (tag == kAnyTag) {
+    msg = co_await ep_->recv(source, any_tag_value(), any_tag_mask());
+  } else {
+    msg = co_await ep_->recv(source, user_tag(tag));
+  }
+  Status st;
+  st.source = msg.src;
+  st.tag = msg.tag & kTagUb;
+  st.count = static_cast<std::int64_t>(msg.data.size());
+  out = std::move(msg.data);
+  co_return st;
+}
+
+Task<Status> Comm::sendrecv(std::vector<std::byte> senddata, int dest,
+                            int sendtag, std::vector<std::byte>& recvdata,
+                            int source, int recvtag) {
+  Request rreq = irecv(source, recvtag);
+  co_await send(std::move(senddata), dest, sendtag);
+  Status st = co_await wait(rreq);
+  recvdata = rreq.take_data();
+  co_return st;
+}
+
+Task<Status> Comm::probe(int source, int tag) {
+  mp::Endpoint::ProbeResult r;
+  if (tag == kAnyTag) {
+    r = co_await ep_->probe(source, any_tag_value(), any_tag_mask());
+  } else {
+    r = co_await ep_->probe(source, user_tag(tag));
+  }
+  co_return Status{r.src, r.tag & kTagUb, r.bytes};
+}
+
+std::optional<Status> Comm::iprobe(int source, int tag) {
+  const auto r = tag == kAnyTag
+                     ? ep_->iprobe(source, any_tag_value(), any_tag_mask())
+                     : ep_->iprobe(source, user_tag(tag));
+  if (!r) return std::nullopt;
+  return Status{r->src, r->tag & kTagUb, r->bytes};
+}
+
+namespace {
+
+Task<> run_isend(mp::Endpoint& ep, std::shared_ptr<Request::State> st,
+                 std::vector<std::byte> data, int dest, int wire_tag) {
+  co_await ep.send(dest, wire_tag, std::move(data));
+  st->finished = true;
+  st->done.fire();
+}
+
+Task<> run_irecv(mp::Endpoint& ep, std::shared_ptr<Request::State> st,
+                 int source, int tag, int mask) {
+  mp::Message msg = co_await ep.recv(source, tag, mask);
+  st->status.source = msg.src;
+  st->status.tag = msg.tag & kTagUb;
+  st->status.count = static_cast<std::int64_t>(msg.data.size());
+  st->data = std::move(msg.data);
+  st->finished = true;
+  st->done.fire();
+}
+
+}  // namespace
+
+Request Comm::isend(std::vector<std::byte> data, int dest, int tag) {
+  Request req;
+  req.st_ = std::make_shared<Request::State>(ep_->engine());
+  run_isend(*ep_, req.st_, std::move(data), dest, user_tag(tag)).detach();
+  return req;
+}
+
+Request Comm::irecv(int source, int tag) {
+  Request req;
+  req.st_ = std::make_shared<Request::State>(ep_->engine());
+  if (tag == kAnyTag) {
+    run_irecv(*ep_, req.st_, source, any_tag_value(), any_tag_mask())
+        .detach();
+  } else {
+    run_irecv(*ep_, req.st_, source, user_tag(tag), ~0).detach();
+  }
+  return req;
+}
+
+Task<Status> Comm::wait(Request& req) {
+  if (!req.st_) throw std::logic_error("wait on null Request");
+  co_await req.st_->done.wait();
+  co_return req.st_->status;
+}
+
+Task<> Comm::waitall(std::span<Request> reqs) {
+  for (Request& r : reqs) (void)co_await wait(r);
+}
+
+// -- collectives ------------------------------------------------------------
+
+Task<> Comm::barrier() { co_await coll::barrier(*ep_, coll_tag(0)); }
+
+Task<> Comm::bcast(std::vector<std::byte>& data, int root) {
+  co_await coll::broadcast(*ep_, root, data, coll_tag(2));
+}
+
+Task<> Comm::reduce(std::vector<std::byte>& data, const coll::ReduceOp& op,
+                    int root) {
+  co_await coll::reduce(*ep_, root, data, op, coll_tag(4));
+}
+
+Task<> Comm::allreduce(std::vector<std::byte>& data,
+                       const coll::ReduceOp& op) {
+  co_await coll::allreduce(*ep_, data, op, coll_tag(6));
+}
+
+Task<double> Comm::allreduce_sum(double value) {
+  auto bytes = to_bytes(value);
+  co_await allreduce(bytes, coll::sum_op<double>());
+  co_return scalar_from_bytes<double>(bytes);
+}
+
+Task<std::vector<std::byte>> Comm::scatter(
+    const std::vector<std::vector<std::byte>>* chunks, int root,
+    coll::ScatterAlg alg) {
+  co_return co_await coll::scatter(*ep_, root, chunks, coll_tag(8), alg);
+}
+
+Task<std::vector<std::vector<std::byte>>> Comm::gather(
+    std::vector<std::byte> mine, int root, coll::ScatterAlg alg) {
+  co_return co_await coll::gather(*ep_, root, std::move(mine), coll_tag(10),
+                                  alg);
+}
+
+namespace {
+
+std::vector<std::byte> pack_chunks(
+    const std::vector<std::vector<std::byte>>& chunks) {
+  std::size_t total = sizeof(std::uint32_t);
+  for (const auto& c : chunks) total += sizeof(std::uint64_t) + c.size();
+  std::vector<std::byte> out(total);
+  std::size_t off = 0;
+  const auto n = static_cast<std::uint32_t>(chunks.size());
+  std::memcpy(out.data(), &n, sizeof(n));
+  off += sizeof(n);
+  for (const auto& c : chunks) {
+    const auto sz = static_cast<std::uint64_t>(c.size());
+    std::memcpy(out.data() + off, &sz, sizeof(sz));
+    off += sizeof(sz);
+    if (!c.empty()) std::memcpy(out.data() + off, c.data(), c.size());
+    off += c.size();
+  }
+  return out;
+}
+
+std::vector<std::vector<std::byte>> unpack_chunks(
+    const std::vector<std::byte>& packed) {
+  std::uint32_t n = 0;
+  std::memcpy(&n, packed.data(), sizeof(n));
+  std::size_t off = sizeof(n);
+  std::vector<std::vector<std::byte>> chunks(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint64_t sz = 0;
+    std::memcpy(&sz, packed.data() + off, sizeof(sz));
+    off += sizeof(sz);
+    chunks[i].assign(packed.begin() + static_cast<std::ptrdiff_t>(off),
+                     packed.begin() + static_cast<std::ptrdiff_t>(off + sz));
+    off += sz;
+  }
+  return chunks;
+}
+
+}  // namespace
+
+Task<std::vector<std::vector<std::byte>>> Comm::allgather(
+    std::vector<std::byte> mine) {
+  // Gather to rank 0 (OPT reverse-scatter), then broadcast the packed set.
+  auto all = co_await gather(std::move(mine), 0);
+  std::vector<std::byte> packed;
+  if (rank() == 0) packed = pack_chunks(all);
+  co_await bcast(packed, 0);
+  co_return unpack_chunks(packed);
+}
+
+Task<std::vector<std::vector<std::byte>>> Comm::alltoall(
+    std::vector<std::vector<std::byte>> chunks, coll::ScatterAlg alg) {
+  co_return co_await coll::alltoall(*ep_, std::move(chunks), coll_tag(12),
+                                    alg);
+}
+
+}  // namespace meshmp::mpi

@@ -1,0 +1,155 @@
+#pragma once
+
+// MPI 1.1 subset over the common message-passing core (the paper's second
+// message-passing system). Point-to-point with tags, wildcards, blocking and
+// nonblocking operations, probe; communicator duplication with isolated
+// contexts; and the mesh collective algorithms of coll/.
+//
+// Wire tag layout (24 bits available from the core):
+//   [23]    class: 0 = user point-to-point, 1 = collective
+//   [22:19] communicator context (world = 0, dup() allocates 1..14;
+//           15 is reserved for QMP when both systems share an endpoint)
+//   class 0: [18:0]  user tag  (so kTagUb = 2^19 - 1)
+//   class 1: [18:11] collective sequence number (all ranks call collectives
+//            in the same order, so equal seq = same operation instance)
+//            [10:0]  collective op code
+// User tags are limited to 0..kTagUb.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "coll/reduce_op.hpp"
+#include "coll/scatter.hpp"
+#include "coll/tree.hpp"
+#include "mp/endpoint.hpp"
+#include "mpi/datatypes.hpp"
+
+namespace meshmp::mpi {
+
+inline constexpr int kAnySource = mp::Endpoint::kAny;
+inline constexpr int kAnyTag = mp::Endpoint::kAny;
+/// MPI guarantees at least 32767; we expose 2^19-1 of user tag space.
+inline constexpr int kTagUb = (1 << 19) - 1;
+
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::int64_t count = 0;  ///< received bytes
+};
+
+/// Handle for a nonblocking operation. Copyable (shared state).
+class Request {
+ public:
+  Request() = default;
+  [[nodiscard]] bool valid() const noexcept { return st_ != nullptr; }
+  [[nodiscard]] bool done() const noexcept;
+  /// Receive data after completion (moves out of the request).
+  [[nodiscard]] std::vector<std::byte> take_data();
+  [[nodiscard]] const Status& status() const;
+
+  /// Shared completion state (implementation detail; public so the internal
+  /// runner coroutines can name it).
+  struct State {
+    explicit State(sim::Engine& eng) : done(eng) {}
+    sim::Trigger done;
+    Status status;
+    std::vector<std::byte> data;
+    bool finished = false;
+  };
+
+ private:
+  friend class Comm;
+  std::shared_ptr<State> st_;
+};
+
+class Comm {
+ public:
+  /// World communicator over the endpoint's whole mesh (context 0).
+  explicit Comm(mp::Endpoint& ep)
+      : ep_(&ep), ctx_(0), next_ctx_(std::make_shared<std::uint32_t>(1)) {}
+
+  /// A duplicate with an isolated communication context (MPI_Comm_dup):
+  /// traffic on the dup never matches traffic on the parent. All ranks must
+  /// dup in the same order.
+  [[nodiscard]] Comm dup() const;
+
+  [[nodiscard]] int rank() const { return ep_->rank(); }
+  [[nodiscard]] int size() const {
+    return static_cast<int>(ep_->agent().torus().size());
+  }
+  [[nodiscard]] int context() const { return static_cast<int>(ctx_); }
+  [[nodiscard]] mp::Endpoint& endpoint() noexcept { return *ep_; }
+
+  // -- blocking point-to-point ------------------------------------------
+  sim::Task<> send(std::vector<std::byte> data, int dest, int tag);
+  sim::Task<Status> recv(std::vector<std::byte>& out, int source, int tag);
+  /// Combined send+recv (both progress concurrently; deadlock-free).
+  sim::Task<Status> sendrecv(std::vector<std::byte> senddata, int dest,
+                             int sendtag, std::vector<std::byte>& recvdata,
+                             int source, int recvtag);
+  /// MPI_Probe / MPI_Iprobe: envelope of a matchable message, not consumed.
+  sim::Task<Status> probe(int source, int tag);
+  std::optional<Status> iprobe(int source, int tag);
+
+  // -- nonblocking ---------------------------------------------------------
+  Request isend(std::vector<std::byte> data, int dest, int tag);
+  Request irecv(int source, int tag);
+  static sim::Task<Status> wait(Request& req);
+  sim::Task<> waitall(std::span<Request> reqs);
+  static bool test(const Request& req) { return req.done(); }
+
+  // -- typed convenience ---------------------------------------------------
+  template <typename T>
+  sim::Task<> send_vec(const std::vector<T>& v, int dest, int tag) {
+    co_await send(to_bytes(v), dest, tag);
+  }
+  template <typename T>
+  sim::Task<std::vector<T>> recv_vec(int source, int tag) {
+    std::vector<std::byte> raw;
+    (void)co_await recv(raw, source, tag);
+    co_return from_bytes<T>(raw);
+  }
+
+  // -- collectives (paper sec. 5.2 algorithms) ------------------------------
+  sim::Task<> barrier();
+  sim::Task<> bcast(std::vector<std::byte>& data, int root);
+  sim::Task<> reduce(std::vector<std::byte>& data, const coll::ReduceOp& op,
+                     int root);
+  sim::Task<> allreduce(std::vector<std::byte>& data,
+                        const coll::ReduceOp& op);
+  /// Scalar global sum (the LQCD hot operation).
+  sim::Task<double> allreduce_sum(double value);
+  sim::Task<std::vector<std::byte>> scatter(
+      const std::vector<std::vector<std::byte>>* chunks, int root,
+      coll::ScatterAlg alg = coll::ScatterAlg::kOpt);
+  sim::Task<std::vector<std::vector<std::byte>>> gather(
+      std::vector<std::byte> mine, int root,
+      coll::ScatterAlg alg = coll::ScatterAlg::kOpt);
+  /// MPI_Allgather: every rank ends with everyone's contribution.
+  sim::Task<std::vector<std::vector<std::byte>>> allgather(
+      std::vector<std::byte> mine);
+  sim::Task<std::vector<std::vector<std::byte>>> alltoall(
+      std::vector<std::vector<std::byte>> chunks,
+      coll::ScatterAlg alg = coll::ScatterAlg::kOpt);
+
+ private:
+  Comm(mp::Endpoint& ep, std::uint32_t ctx,
+       std::shared_ptr<std::uint32_t> next_ctx)
+      : ep_(&ep), ctx_(ctx), next_ctx_(std::move(next_ctx)) {}
+
+  int user_tag(int tag) const;
+  /// Mask/value pair matching "any user tag in this context".
+  int any_tag_value() const;
+  static int any_tag_mask();
+  int coll_tag(int op);
+
+  mp::Endpoint* ep_;
+  std::uint32_t ctx_;
+  std::shared_ptr<std::uint32_t> next_ctx_;
+  std::uint32_t coll_seq_ = 0;
+};
+
+}  // namespace meshmp::mpi

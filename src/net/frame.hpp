@@ -1,0 +1,57 @@
+#pragma once
+
+// Frames: the unit moved by links and NICs.
+//
+// Frames carry *real* payload bytes so that integrity is testable end to end
+// (through fragmentation, kernel forwarding, corruption and retransmission),
+// plus a modelled `wire_bytes` size that includes protocol headers the
+// simulation does not materialize.
+
+#include <any>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace meshmp::net {
+
+/// Global node index within a cluster.
+using NodeId = std::int32_t;
+
+/// CRC-32 (IEEE 802.3 polynomial, bit-reflected) over a byte range.
+std::uint32_t crc32(std::span<const std::byte> data);
+
+struct Frame {
+  NodeId src = -1;  ///< originating node (not the last forwarder)
+  NodeId dst = -1;  ///< final destination node
+  /// Protocol demultiplex key on the receiving node (VIA kernel agent, TCP
+  /// stack, ...). Values are assigned by the cluster builder.
+  std::uint16_t proto = 0;
+  /// Modelled frame size in bytes including protocol headers (the link adds
+  /// Ethernet preamble/header/FCS/IFG on top of this).
+  std::int64_t wire_bytes = 0;
+  /// CRC of `payload` computed at transmit time (hardware checksum model).
+  std::uint32_t checksum = 0;
+  /// Actual data carried (empty for pure control frames).
+  std::vector<std::byte> payload;
+  /// Protocol-private header (e.g. via::FrameHeader). One heap allocation per
+  /// frame; only the owning protocol reads it.
+  std::any meta;
+
+  /// Recomputes `checksum` from the payload (done by the NIC on transmit —
+  /// the Intel Pro/1000MT offloads this, so it costs no host CPU).
+  void stamp_checksum() { checksum = crc32(payload); }
+
+  /// True when payload still matches the transmit-time checksum.
+  [[nodiscard]] bool checksum_ok() const { return checksum == crc32(payload); }
+};
+
+/// Convenience: byte-vector from any trivially copyable object sequence.
+template <typename T>
+std::vector<std::byte> to_bytes(std::span<const T> values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  auto raw = std::as_bytes(values);
+  return {raw.begin(), raw.end()};
+}
+
+}  // namespace meshmp::net

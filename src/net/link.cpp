@@ -1,0 +1,52 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace meshmp::net {
+
+SimplexPipe::SimplexPipe(sim::Engine& eng, LinkParams params, sim::Rng rng,
+                         std::string name)
+    : eng_(eng),
+      params_(params),
+      rng_(rng),
+      name_(std::move(name)),
+      q_(eng) {
+  pump().detach();
+}
+
+sim::Duration SimplexPipe::wire_time(std::int64_t wire_bytes) const {
+  const std::int64_t on_wire =
+      std::max(wire_bytes, params_.min_frame_bytes) +
+      params_.per_frame_overhead_bytes;
+  return sim::transfer_time(on_wire, params_.bytes_per_sec);
+}
+
+void SimplexPipe::send(Frame f) { q_.push(std::move(f)); }
+
+sim::Task<> SimplexPipe::pump() {
+  for (;;) {
+    Frame f = co_await q_.pop();
+    co_await sim::delay(eng_, wire_time(f.wire_bytes));
+    bytes_sent_ += f.wire_bytes;
+    counters_.inc("frames");
+    if (params_.drop_prob > 0 && rng_.bernoulli(params_.drop_prob)) {
+      counters_.inc("dropped");
+      continue;
+    }
+    if (params_.corrupt_prob > 0 && !f.payload.empty() &&
+        rng_.bernoulli(params_.corrupt_prob)) {
+      // Flip one bit somewhere in the payload; the transmit-time checksum no
+      // longer matches and the receiving NIC will discard the frame.
+      auto& b = f.payload[rng_.below(f.payload.size())];
+      b ^= std::byte{0x10};
+      counters_.inc("corrupted");
+    }
+    assert(sink_ && "SimplexPipe: no sink attached");
+    eng_.schedule(params_.propagation,
+                  [this, f = std::move(f)]() mutable { sink_(std::move(f)); });
+  }
+}
+
+}  // namespace meshmp::net

@@ -1,0 +1,86 @@
+#pragma once
+
+// Point-to-point wires.
+//
+// A SimplexPipe serializes frames at line rate (store-and-forward), applies
+// propagation delay, and can inject drops and payload corruption for fault
+// testing. A Link is a full-duplex pair of pipes — one copper GigE cable
+// between two adapter ports.
+
+#include <functional>
+#include <string>
+
+#include "net/frame.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace meshmp::net {
+
+struct LinkParams {
+  /// Line rate in bytes/second. GigE: 125e6. Myrinet 2000: 250e6.
+  double bytes_per_sec = 125e6;
+  /// Cable + PHY latency.
+  sim::Duration propagation = 300;  // ns
+  /// Per-frame media overhead added to Frame::wire_bytes on the wire.
+  /// Ethernet: preamble(8) + MAC header(14) + FCS(4) + IFG(12) = 38.
+  std::int64_t per_frame_overhead_bytes = 38;
+  /// Minimum frame size on the wire (Ethernet: 64 bytes before overhead).
+  std::int64_t min_frame_bytes = 64;
+  /// Fault injection probabilities per frame.
+  double drop_prob = 0.0;
+  double corrupt_prob = 0.0;
+};
+
+class SimplexPipe {
+ public:
+  SimplexPipe(sim::Engine& eng, LinkParams params, sim::Rng rng,
+              std::string name);
+  SimplexPipe(const SimplexPipe&) = delete;
+  SimplexPipe& operator=(const SimplexPipe&) = delete;
+
+  /// Registers the receiver (the peer NIC's rx entry). Must be set before
+  /// the first frame arrives.
+  void set_sink(std::function<void(Frame)> sink) { sink_ = std::move(sink); }
+
+  /// Queues a frame for transmission; frames serialize in FIFO order.
+  void send(Frame f);
+
+  /// Time the wire needs for one frame of this size (excl. propagation).
+  [[nodiscard]] sim::Duration wire_time(std::int64_t wire_bytes) const;
+
+  [[nodiscard]] const sim::Counters& counters() const { return counters_; }
+  [[nodiscard]] std::int64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] const LinkParams& params() const { return params_; }
+
+ private:
+  sim::Task<> pump();
+
+  sim::Engine& eng_;
+  LinkParams params_;
+  sim::Rng rng_;
+  std::string name_;
+  sim::Queue<Frame> q_;
+  std::function<void(Frame)> sink_;
+  sim::Counters counters_;
+  std::int64_t bytes_sent_ = 0;
+};
+
+/// Full-duplex cable: direction 0 is a->b, direction 1 is b->a.
+class Link {
+ public:
+  Link(sim::Engine& eng, LinkParams params, sim::Rng rng, std::string name)
+      : a2b_(eng, params, rng.fork(), name + ".a2b"),
+        b2a_(eng, params, rng.fork(), name + ".b2a") {}
+
+  SimplexPipe& a_to_b() { return a2b_; }
+  SimplexPipe& b_to_a() { return b2a_; }
+
+ private:
+  SimplexPipe a2b_;
+  SimplexPipe b2a_;
+};
+
+}  // namespace meshmp::net

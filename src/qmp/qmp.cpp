@@ -1,0 +1,134 @@
+#include "qmp/qmp.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "mpi/datatypes.hpp"
+
+namespace meshmp::qmp {
+
+using sim::Task;
+
+namespace {
+constexpr int kClassBit = 1 << 23;
+// QMP owns communicator context 15 so that MPI communicators (contexts
+// 0..14) sharing the same endpoint can never match QMP traffic.
+constexpr int kQmpCtx = 15 << 19;
+constexpr int kQmpRelBase = kClassBit | kQmpCtx | (1 << 14);
+}  // namespace
+
+std::vector<int> Machine::logical_coordinates() const {
+  const auto& t = ep_->agent().torus();
+  const topo::Coord c = t.coord(ep_->rank());
+  std::vector<int> out(static_cast<std::size_t>(t.ndims()));
+  for (int d = 0; d < t.ndims(); ++d) out[static_cast<std::size_t>(d)] = c[d];
+  return out;
+}
+
+std::vector<int> Machine::logical_dimensions() const {
+  const auto& t = ep_->agent().torus();
+  std::vector<int> out(static_cast<std::size_t>(t.ndims()));
+  for (int d = 0; d < t.ndims(); ++d) {
+    out[static_cast<std::size_t>(d)] = t.shape()[d];
+  }
+  return out;
+}
+
+int Machine::neighbor_rank(int dim, int sign) const {
+  const auto& t = ep_->agent().torus();
+  const topo::Dir dir{static_cast<std::int8_t>(dim),
+                      static_cast<std::int8_t>(sign)};
+  auto n = t.neighbor(static_cast<topo::Rank>(ep_->rank()), dir);
+  if (!n) throw std::invalid_argument("neighbor_rank: no link that way");
+  return static_cast<int>(*n);
+}
+
+int Machine::dir_tag(topo::Dir dir) const { return kQmpRelBase | dir.index(); }
+
+int Machine::coll_tag(int op) {
+  // Collective op codes are >= 32 and relative-direction tags carry bit 14
+  // with a low value < 8, so the spaces stay disjoint for any sequence.
+  const std::uint32_t seq = coll_seq_++ & 0x7u;
+  return kClassBit | kQmpCtx | static_cast<int>(seq << 11) | op;
+}
+
+MsgHandle Machine::declare_send_relative(MsgMem& mem, int dim, int sign) {
+  return MsgHandle(*this, mem,
+                   topo::Dir{static_cast<std::int8_t>(dim),
+                             static_cast<std::int8_t>(sign)},
+                   /*is_send=*/true);
+}
+
+MsgHandle Machine::declare_receive_relative(MsgMem& mem, int dim, int sign) {
+  return MsgHandle(*this, mem,
+                   topo::Dir{static_cast<std::int8_t>(dim),
+                             static_cast<std::int8_t>(sign)},
+                   /*is_send=*/false);
+}
+
+Task<> Machine::run_send(MsgHandle* h, sim::Trigger* done) {
+  const int dest = neighbor_rank(h->dir_.dim, h->dir_.sign);
+  // The receiver listens on the direction it declared, which is where the
+  // message *comes from*: the opposite of our send direction.
+  co_await ep_->send(dest, dir_tag(h->dir_.opposite()), h->mem_->buf);
+  done->fire();
+}
+
+Task<> Machine::run_recv(MsgHandle* h, sim::Trigger* done) {
+  const int src = neighbor_rank(h->dir_.dim, h->dir_.sign);
+  mp::Message msg = co_await ep_->recv(src, dir_tag(h->dir_));
+  if (msg.data.size() != h->mem_->buf.size()) {
+    throw std::runtime_error("QMP receive size mismatch");
+  }
+  h->mem_->buf = std::move(msg.data);
+  done->fire();
+}
+
+void Machine::start(MsgHandle& h) {
+  if (h.inflight_) throw std::logic_error("QMP handle already started");
+  h.inflight_ = std::make_unique<sim::Trigger>(ep_->engine());
+  if (h.is_send_) {
+    run_send(&h, h.inflight_.get()).detach();
+  } else {
+    run_recv(&h, h.inflight_.get()).detach();
+  }
+}
+
+Task<> Machine::wait(MsgHandle& h) {
+  if (!h.inflight_) throw std::logic_error("QMP handle not started");
+  co_await h.inflight_->wait();
+  h.inflight_.reset();  // reusable, like QMP handles
+}
+
+Task<double> Machine::sum_double_kernel(double value) {
+  // Sequence ids are synchronized by SPMD call order, like every collective.
+  const std::uint32_t seq = 0x40000000u | (coll_seq_++ & 0xffffffu);
+  co_return co_await ep_->agent().kernel_global_sum(value, 0, seq);
+}
+
+Task<double> Machine::sum_double(double value) {
+  auto bytes = mpi::to_bytes(value);
+  co_await coll::allreduce(*ep_, bytes, coll::sum_op<double>(), coll_tag(32));
+  co_return mpi::scalar_from_bytes<double>(bytes);
+}
+
+Task<> Machine::sum_double_array(std::vector<double>& values) {
+  auto bytes = mpi::to_bytes(values);
+  co_await coll::allreduce(*ep_, bytes, coll::sum_op<double>(), coll_tag(34));
+  values = mpi::from_bytes<double>(bytes);
+}
+
+Task<double> Machine::max_double(double value) {
+  auto bytes = mpi::to_bytes(value);
+  co_await coll::allreduce(*ep_, bytes, coll::max_op<double>(), coll_tag(36));
+  co_return mpi::scalar_from_bytes<double>(bytes);
+}
+
+Task<> Machine::broadcast(std::vector<std::byte>& data, int root) {
+  co_await coll::broadcast(*ep_, root, data, coll_tag(38));
+}
+
+Task<> Machine::barrier() { co_await coll::barrier(*ep_, coll_tag(40)); }
+
+}  // namespace meshmp::qmp

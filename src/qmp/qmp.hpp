@@ -1,0 +1,112 @@
+#pragma once
+
+// QMP (QCD Message Passing) — the paper's first message-passing system: a
+// lattice-QCD-focused subset of MPI functionality with an interface mirroring
+// the real QMP library: logical topology queries, declared message memory and
+// relative (nearest-neighbour) send/receive handles with start/wait
+// semantics, and the collective operations LQCD needs (global sums,
+// broadcast from node 0, barrier).
+//
+// Wire tag layout shares the collective class bit with MPI so the two systems
+// can coexist on one endpoint; relative messages are tagged by direction so
+// simultaneous exchanges in different directions never cross-match.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coll/reduce_op.hpp"
+#include "coll/tree.hpp"
+#include "mp/endpoint.hpp"
+#include "topo/torus.hpp"
+
+namespace meshmp::qmp {
+
+/// Declared message memory: the buffer a handle sends from / receives into.
+struct MsgMem {
+  std::vector<std::byte> buf;
+
+  explicit MsgMem(std::size_t bytes) : buf(bytes, std::byte{0}) {}
+  template <typename T>
+  static MsgMem of(std::size_t count) {
+    return MsgMem(count * sizeof(T));
+  }
+};
+
+class Machine;
+
+/// A declared relative communication: start() begins the transfer, wait()
+/// blocks until the local buffer is reusable (send) or filled (receive).
+class MsgHandle {
+ public:
+  MsgHandle(MsgHandle&&) noexcept = default;
+  MsgHandle& operator=(MsgHandle&&) noexcept = default;
+
+  [[nodiscard]] bool started() const noexcept { return inflight_ != nullptr; }
+
+ private:
+  friend class Machine;
+  MsgHandle(Machine& m, MsgMem& mem, topo::Dir dir, bool is_send)
+      : machine_(&m), mem_(&mem), dir_(dir), is_send_(is_send) {}
+
+  Machine* machine_;
+  MsgMem* mem_;
+  topo::Dir dir_;
+  bool is_send_;
+  std::unique_ptr<sim::Trigger> inflight_;
+};
+
+class Machine {
+ public:
+  /// The paper's clusters declare the logical topology equal to the physical
+  /// mesh; the machine binds to the endpoint's torus.
+  explicit Machine(mp::Endpoint& ep) : ep_(&ep) {}
+
+  [[nodiscard]] int node_number() const { return ep_->rank(); }
+  [[nodiscard]] int num_nodes() const {
+    return static_cast<int>(ep_->agent().torus().size());
+  }
+  [[nodiscard]] int num_dimensions() const {
+    return ep_->agent().torus().ndims();
+  }
+  [[nodiscard]] std::vector<int> logical_coordinates() const;
+  [[nodiscard]] std::vector<int> logical_dimensions() const;
+  /// Rank of the nearest neighbour one step along (dim, sign).
+  [[nodiscard]] int neighbor_rank(int dim, int sign) const;
+  [[nodiscard]] mp::Endpoint& endpoint() noexcept { return *ep_; }
+
+  // -- relative message handles -----------------------------------------
+  MsgHandle declare_send_relative(MsgMem& mem, int dim, int sign);
+  MsgHandle declare_receive_relative(MsgMem& mem, int dim, int sign);
+  /// Begins the transfer (send: enqueues the buffer; receive: posts).
+  void start(MsgHandle& h);
+  /// Completes it; a handle can be started again afterwards (QMP reuse).
+  sim::Task<> wait(MsgHandle& h);
+  sim::Task<> start_and_wait(MsgHandle& h) {
+    start(h);
+    co_await wait(h);
+  }
+
+  // -- collectives ---------------------------------------------------------
+  sim::Task<double> sum_double(double value);
+  /// Interrupt-level global sum (paper sec. 7 prototype): intermediate nodes
+  /// combine in the receive ISR, never in user space. Much lower latency
+  /// than sum_double on large meshes; see bench/ablation_kernel_reduce.
+  sim::Task<double> sum_double_kernel(double value);
+  sim::Task<> sum_double_array(std::vector<double>& values);
+  sim::Task<double> max_double(double value);
+  sim::Task<> broadcast(std::vector<std::byte>& data, int root = 0);
+  sim::Task<> barrier();
+
+ private:
+  friend class MsgHandle;
+  sim::Task<> run_send(MsgHandle* h, sim::Trigger* done);
+  sim::Task<> run_recv(MsgHandle* h, sim::Trigger* done);
+  int dir_tag(topo::Dir dir) const;
+  int coll_tag(int op);
+
+  mp::Endpoint* ep_;
+  std::uint32_t coll_seq_ = 0;
+};
+
+}  // namespace meshmp::qmp

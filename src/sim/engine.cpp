@@ -1,0 +1,56 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace meshmp::sim {
+
+void Engine::schedule(Duration delay, std::function<void()> fn) {
+  if (delay < 0) throw std::invalid_argument("Engine::schedule: negative delay");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Engine::schedule_at(Time t, std::function<void()> fn) {
+  if (t < now_) throw std::invalid_argument("Engine::schedule_at: time in the past");
+  heap_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Engine::post(std::coroutine_handle<> h) {
+  assert(h && "posting a null coroutine handle");
+  schedule_at(now_, [h] { h.resume(); });
+}
+
+void Engine::dispatch(Event ev) {
+  now_ = ev.when;
+  ++executed_;
+  ev.fn();
+}
+
+void Engine::run() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    dispatch(std::move(ev));
+  }
+}
+
+bool Engine::run_until(Time t) {
+  while (!heap_.empty() && heap_.top().when <= t) {
+    Event ev = heap_.top();
+    heap_.pop();
+    dispatch(std::move(ev));
+  }
+  now_ = t;
+  return !heap_.empty();
+}
+
+bool Engine::step() {
+  if (heap_.empty()) return false;
+  Event ev = heap_.top();
+  heap_.pop();
+  dispatch(std::move(ev));
+  return true;
+}
+
+}  // namespace meshmp::sim

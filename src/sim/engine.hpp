@@ -1,0 +1,77 @@
+#pragma once
+
+// Discrete-event simulation engine.
+//
+// A single-threaded, deterministic event loop: events fire in (time, sequence)
+// order, where sequence is the order of scheduling. All coroutine resumptions
+// are funnelled through the queue, so two runs of the same program produce
+// identical event orders and identical results.
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace meshmp::sim {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run `delay` nanoseconds from now (delay >= 0).
+  void schedule(Duration delay, std::function<void()> fn);
+
+  /// Schedules `fn` at absolute time `t` (t >= now()).
+  void schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedules resumption of a suspended coroutine at the current time.
+  /// All synchronization primitives wake waiters through here, never inline,
+  /// which keeps wakeup order deterministic and stacks flat.
+  void post(std::coroutine_handle<> h);
+
+  /// Runs until the event queue is empty.
+  void run();
+
+  /// Runs all events with timestamp <= t, then sets now() = t.
+  /// Returns true if events remain in the queue.
+  bool run_until(Time t);
+
+  /// Runs a single event if one is pending. Returns false when idle.
+  bool step();
+
+  /// Number of queued events.
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Total events executed so far (useful for complexity assertions in tests).
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(Event ev);
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace meshmp::sim

@@ -1,0 +1,72 @@
+#pragma once
+
+// Deterministic random number generation (xoshiro256++, seeded by splitmix64).
+//
+// Each stochastic component (lossy link, jittered timer, workload generator)
+// owns its own Rng forked from a master seed, so adding a component never
+// perturbs the random streams of the others.
+
+#include <cstdint>
+
+namespace meshmp::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection-free-enough reduction; bias is
+    // negligible for simulation purposes.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Derives an independent generator (for per-component streams).
+  Rng fork() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace meshmp::sim

@@ -1,0 +1,79 @@
+#pragma once
+
+// Small statistics helpers used by benchmarks and hardware models.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace meshmp::sim {
+
+/// Streaming accumulator: count / sum / min / max / mean / stddev.
+class Stat {
+ public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+    sumsq_ += x * x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return n_ ? sum_ / static_cast<double>(n_) : 0.0;
+  }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double stddev() const noexcept {
+    if (n_ < 2) return 0.0;
+    const double m = mean();
+    const double var =
+        (sumsq_ - static_cast<double>(n_) * m * m) / static_cast<double>(n_ - 1);
+    return var > 0 ? std::sqrt(var) : 0.0;
+  }
+
+  void reset() { *this = Stat{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double sumsq_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Monotone counters keyed by short names (drops, retransmits, interrupts...).
+class Counters {
+ public:
+  void inc(const std::string& key, std::int64_t by = 1) {
+    for (auto& [k, v] : items_) {
+      if (k == key) {
+        v += by;
+        return;
+      }
+    }
+    items_.emplace_back(key, by);
+  }
+
+  [[nodiscard]] std::int64_t get(const std::string& key) const {
+    for (const auto& [k, v] : items_) {
+      if (k == key) return v;
+    }
+    return 0;
+  }
+
+  [[nodiscard]] const std::vector<std::pair<std::string, std::int64_t>>& items()
+      const noexcept {
+    return items_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::int64_t>> items_;
+};
+
+}  // namespace meshmp::sim

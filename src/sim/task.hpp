@@ -1,0 +1,215 @@
+#pragma once
+
+// Coroutine task type for simulated node programs.
+//
+// A Task<T> is an eagerly-started coroutine: the body begins executing at the
+// call site and runs until it first suspends on a simulator awaitable (a
+// delay, a trigger, a queue pop, ...). Composition is by `co_await subtask`;
+// fire-and-forget is by Engine-independent `detach()` (usually via
+// `spawn(...)` on a cluster/node).
+//
+// Lifetime rules:
+//  * An awaited task is owned by the awaiting frame (a temporary in the
+//    co_await full-expression is kept alive across the suspension).
+//  * A detached task self-destroys when it completes.
+//  * Destroying a Task that is still suspended cancels it; this is only safe
+//    when the task is not registered with any synchronization primitive.
+//
+// WARNING: never write a coroutine as a *capturing* lambda. The captures live
+// in the lambda object, not in the coroutine frame; once the (usually
+// temporary) lambda object is destroyed every capture dangles. Use free
+// functions, member functions, or captureless lambdas taking parameters —
+// parameters are copied/bound into the frame and are safe.
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace meshmp::sim {
+
+template <typename T = void>
+class [[nodiscard]] Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};
+  std::exception_ptr exception{};
+  bool detached = false;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      PromiseBase& p = h.promise();
+      if (p.continuation) return p.continuation;
+      if (p.detached) {
+        // Nobody owns the frame any more; free it. Returning noop after
+        // destroy is the standard self-destroying-coroutine pattern.
+        h.destroy();
+      }
+      return std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_never initial_suspend() const noexcept { return {}; }
+  FinalAwaiter final_suspend() const noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    template <typename U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  Task() noexcept = default;
+  explicit Task(handle_type h) noexcept : h_(h) {}
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { reset(); }
+
+  [[nodiscard]] bool valid() const noexcept { return static_cast<bool>(h_); }
+  [[nodiscard]] bool done() const noexcept { return !h_ || h_.done(); }
+
+  /// Releases ownership; the frame frees itself on completion. If the task
+  /// already completed, reaps it now (rethrowing any stored exception).
+  void detach() {
+    if (!h_) return;
+    if (h_.done()) {
+      auto exc = h_.promise().exception;
+      h_.destroy();
+      h_ = {};
+      if (exc) std::rethrow_exception(exc);
+      return;
+    }
+    h_.promise().detached = true;
+    h_ = {};
+  }
+
+  auto operator co_await() noexcept {
+    struct Awaiter {
+      handle_type h;
+      bool await_ready() const noexcept { return h.done(); }
+      void await_suspend(std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+      }
+      T await_resume() {
+        if (h.promise().exception) {
+          std::rethrow_exception(h.promise().exception);
+        }
+        assert(h.promise().value && "task completed without a value");
+        return std::move(*h.promise().value);
+      }
+    };
+    assert(h_ && "awaiting an empty task");
+    return Awaiter{h_};
+  }
+
+ private:
+  void reset() noexcept {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+
+  handle_type h_{};
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() const noexcept {}
+  };
+
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  Task() noexcept = default;
+  explicit Task(handle_type h) noexcept : h_(h) {}
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      h_ = std::exchange(other.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { reset(); }
+
+  [[nodiscard]] bool valid() const noexcept { return static_cast<bool>(h_); }
+  [[nodiscard]] bool done() const noexcept { return !h_ || h_.done(); }
+
+  void detach() {
+    if (!h_) return;
+    if (h_.done()) {
+      auto exc = h_.promise().exception;
+      h_.destroy();
+      h_ = {};
+      if (exc) std::rethrow_exception(exc);
+      return;
+    }
+    h_.promise().detached = true;
+    h_ = {};
+  }
+
+  auto operator co_await() noexcept {
+    struct Awaiter {
+      handle_type h;
+      bool await_ready() const noexcept { return h.done(); }
+      void await_suspend(std::coroutine_handle<> cont) noexcept {
+        h.promise().continuation = cont;
+      }
+      void await_resume() {
+        if (h.promise().exception) {
+          std::rethrow_exception(h.promise().exception);
+        }
+      }
+    };
+    assert(h_ && "awaiting an empty task");
+    return Awaiter{h_};
+  }
+
+ private:
+  void reset() noexcept {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+
+  handle_type h_{};
+};
+
+}  // namespace meshmp::sim

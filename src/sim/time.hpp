@@ -1,0 +1,67 @@
+#pragma once
+
+// Simulated-time types.
+//
+// The whole simulator runs on a single int64 nanosecond clock. Nanosecond
+// resolution is fine for the modelled hardware: one byte on a 1 Gbit/s wire
+// takes 8 ns, and every modelled host overhead is >= 100 ns.
+
+#include <cstdint>
+
+namespace meshmp::sim {
+
+/// Absolute simulated time in nanoseconds since simulation start.
+using Time = std::int64_t;
+
+/// A span of simulated time in nanoseconds.
+using Duration = std::int64_t;
+
+inline namespace literals {
+
+constexpr Duration operator""_ns(unsigned long long v) {
+  return static_cast<Duration>(v);
+}
+constexpr Duration operator""_us(unsigned long long v) {
+  return static_cast<Duration>(v) * 1000;
+}
+constexpr Duration operator""_us(long double v) {
+  return static_cast<Duration>(v * 1000.0L);
+}
+constexpr Duration operator""_ms(unsigned long long v) {
+  return static_cast<Duration>(v) * 1'000'000;
+}
+constexpr Duration operator""_ms(long double v) {
+  return static_cast<Duration>(v * 1'000'000.0L);
+}
+constexpr Duration operator""_s(unsigned long long v) {
+  return static_cast<Duration>(v) * 1'000'000'000;
+}
+constexpr Duration operator""_s(long double v) {
+  return static_cast<Duration>(v * 1'000'000'000.0L);
+}
+
+}  // namespace literals
+
+/// Converts a duration to (double) microseconds, the unit the paper reports.
+constexpr double to_us(Duration d) { return static_cast<double>(d) / 1000.0; }
+
+/// Converts a duration to (double) seconds.
+constexpr double to_sec(Duration d) {
+  return static_cast<double>(d) / 1e9;
+}
+
+/// Time to move `bytes` at `bytes_per_sec`, rounded up to whole nanoseconds.
+constexpr Duration transfer_time(std::int64_t bytes, double bytes_per_sec) {
+  if (bytes <= 0) return 0;
+  const double ns = static_cast<double>(bytes) * 1e9 / bytes_per_sec;
+  const auto whole = static_cast<Duration>(ns);
+  return whole + (static_cast<double>(whole) < ns ? 1 : 0);
+}
+
+/// Observed rate in MB/s (decimal, as the paper uses) for bytes over elapsed.
+constexpr double rate_mb_per_s(std::int64_t bytes, Duration elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(bytes) / 1e6 / to_sec(elapsed);
+}
+
+}  // namespace meshmp::sim

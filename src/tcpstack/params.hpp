@@ -1,0 +1,28 @@
+#pragma once
+
+// Tunables of the kernel-2.4-era TCP/IP baseline stack.
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace meshmp::tcpstack {
+
+using namespace sim::literals;
+
+struct TcpParams {
+  /// Payload per segment (1500 MTU - 52 bytes of IP+TCP headers).
+  std::int64_t mss = 1448;
+  std::int64_t header_bytes = 52;
+  /// Send window: maximum unacknowledged bytes in flight.
+  std::int64_t window_bytes = 256 * 1024;
+  /// Data segments per delayed ACK and the delayed-ack timer.
+  int ack_every = 2;
+  sim::Duration ack_delay = 200_us;
+  /// Go-back-N retransmission. Kept above the drain time of the deepest
+  /// in-flight pipeline (window/mss segments) to avoid spurious timeouts.
+  sim::Duration retx_timeout = 50_ms;
+  int max_retries = 10;
+};
+
+}  // namespace meshmp::tcpstack

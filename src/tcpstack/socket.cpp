@@ -1,0 +1,57 @@
+#include "tcpstack/socket.hpp"
+
+#include <algorithm>
+
+#include "tcpstack/stack.hpp"
+
+namespace meshmp::tcpstack {
+
+TcpSocket::TcpSocket(TcpStack& stack, std::uint32_t id)
+    : stack_(stack),
+      id_(id),
+      conn_done_(stack.node().cpu().engine()),
+      window_open_(stack.node().cpu().engine()),
+      send_lock_(stack.node().cpu().engine(), 1),
+      rx_ready_(stack.node().cpu().engine()) {}
+
+sim::Task<> TcpSocket::send(std::vector<std::byte> data) {
+  auto& cpu = stack_.node().cpu();
+  co_await cpu.busy(cpu.host().syscall, hw::Cpu::kUser);
+  co_await stack_.stream_out(*this, std::move(data));
+}
+
+sim::Task<std::vector<std::byte>> TcpSocket::recv(std::int64_t max_bytes) {
+  auto& cpu = stack_.node().cpu();
+  co_await cpu.busy(cpu.host().syscall, hw::Cpu::kUser);
+  while (sockbuf_head_ == sockbuf_.size()) {
+    co_await rx_ready_.next();
+  }
+  const auto avail =
+      static_cast<std::int64_t>(sockbuf_.size() - sockbuf_head_);
+  const auto take = std::min(max_bytes, avail);
+  // The second copy of the TCP path: kernel socket buffer -> user buffer.
+  const bool hot = take <= cpu.host().cache_bytes;
+  co_await cpu.copy(take, hot, hw::Cpu::kUser);
+  std::vector<std::byte> out(
+      sockbuf_.begin() + static_cast<std::ptrdiff_t>(sockbuf_head_),
+      sockbuf_.begin() + static_cast<std::ptrdiff_t>(sockbuf_head_ + take));
+  sockbuf_head_ += static_cast<std::size_t>(take);
+  if (sockbuf_head_ > (1u << 20) && sockbuf_head_ * 2 > sockbuf_.size()) {
+    sockbuf_.erase(sockbuf_.begin(),
+                   sockbuf_.begin() + static_cast<std::ptrdiff_t>(sockbuf_head_));
+    sockbuf_head_ = 0;
+  }
+  co_return out;
+}
+
+sim::Task<std::vector<std::byte>> TcpSocket::recv_exact(std::int64_t n) {
+  std::vector<std::byte> out;
+  out.reserve(static_cast<std::size_t>(n));
+  while (static_cast<std::int64_t>(out.size()) < n) {
+    auto chunk = co_await recv(n - static_cast<std::int64_t>(out.size()));
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  co_return out;
+}
+
+}  // namespace meshmp::tcpstack

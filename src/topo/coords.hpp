@@ -1,0 +1,91 @@
+#pragma once
+
+// N-dimensional coordinates and link directions for mesh/torus topologies.
+//
+// The paper's clusters are 2-D (8x8) and 3-D (4x8x8, 6x8x8) tori; the LQCD
+// application lives on a 4-D logical lattice, so everything here supports up
+// to four dimensions.
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace meshmp::topo {
+
+inline constexpr int kMaxDims = 4;
+
+/// A point in (or the extent of) an up-to-4-dimensional grid.
+class Coord {
+ public:
+  Coord() = default;
+  Coord(std::initializer_list<int> values) {
+    assert(values.size() <= kMaxDims);
+    for (int v : values) v_[nd_++] = v;
+  }
+  static Coord zeros(int ndims) {
+    Coord c;
+    c.nd_ = ndims;
+    return c;
+  }
+
+  [[nodiscard]] int ndims() const noexcept { return nd_; }
+  int& operator[](int d) {
+    assert(d >= 0 && d < nd_);
+    return v_[static_cast<std::size_t>(d)];
+  }
+  int operator[](int d) const {
+    assert(d >= 0 && d < nd_);
+    return v_[static_cast<std::size_t>(d)];
+  }
+
+  friend bool operator==(const Coord& a, const Coord& b) {
+    if (a.nd_ != b.nd_) return false;
+    for (int d = 0; d < a.nd_; ++d) {
+      if (a.v_[static_cast<std::size_t>(d)] !=
+          b.v_[static_cast<std::size_t>(d)])
+        return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const Coord& a, const Coord& b) { return !(a == b); }
+
+  [[nodiscard]] std::string str() const {
+    std::string s = "(";
+    for (int d = 0; d < nd_; ++d) {
+      if (d) s += ",";
+      s += std::to_string(v_[static_cast<std::size_t>(d)]);
+    }
+    return s + ")";
+  }
+
+ private:
+  std::array<int, kMaxDims> v_{};
+  int nd_ = 0;
+};
+
+/// One of the 2*ndims link directions leaving a node: +dim or -dim.
+struct Dir {
+  std::int8_t dim = 0;
+  std::int8_t sign = +1;  // +1 or -1
+
+  /// Dense index in [0, 2*ndims): +x,-x,+y,-y,...
+  [[nodiscard]] int index() const noexcept {
+    return 2 * dim + (sign > 0 ? 0 : 1);
+  }
+  static Dir from_index(int idx) {
+    return Dir{static_cast<std::int8_t>(idx / 2),
+               static_cast<std::int8_t>(idx % 2 == 0 ? +1 : -1)};
+  }
+  [[nodiscard]] Dir opposite() const noexcept {
+    return Dir{dim, static_cast<std::int8_t>(-sign)};
+  }
+  friend bool operator==(const Dir& a, const Dir& b) {
+    return a.dim == b.dim && a.sign == b.sign;
+  }
+  [[nodiscard]] std::string str() const {
+    return std::string(sign > 0 ? "+" : "-") + char('x' + dim);
+  }
+};
+
+}  // namespace meshmp::topo

@@ -1,0 +1,87 @@
+#include "topo/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace meshmp::topo {
+
+RegionPartition make_region_partition(const Torus& torus, Rank root) {
+  const Coord root_c = torus.coord(root);
+  const auto dirs = torus.directions(root_c);
+  if (dirs.empty()) {
+    throw std::invalid_argument("make_region_partition: root has no links");
+  }
+
+  RegionPartition part;
+  part.region_dir = dirs;
+  part.region_of.assign(static_cast<std::size_t>(torus.size()), -1);
+  part.members.resize(dirs.size());
+
+  auto region_index = [&](Dir d) {
+    for (std::size_t i = 0; i < dirs.size(); ++i) {
+      if (dirs[i] == d) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  // Collect candidate regions (minimal first hops) per node.
+  struct Entry {
+    Rank rank;
+    int distance;
+    std::vector<int> candidates;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(static_cast<std::size_t>(torus.size()) - 1);
+  for (Rank r = 0; r < torus.size(); ++r) {
+    if (r == root) continue;
+    const Coord c = torus.coord(r);
+    Entry e{r, torus.distance(root_c, c), {}};
+    for (Dir d : torus.minimal_first_hops(root_c, c)) {
+      const int idx = region_index(d);
+      assert(idx >= 0);
+      e.candidates.push_back(idx);
+    }
+    assert(!e.candidates.empty());
+    entries.push_back(std::move(e));
+  }
+
+  // Most-constrained-first, then nearest-first so far-away nodes (which tend
+  // to have many candidate directions) fill whatever is left, balancing the
+  // regions. Ties break on rank for determinism.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.candidates.size() != b.candidates.size()) {
+      return a.candidates.size() < b.candidates.size();
+    }
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.rank < b.rank;
+  });
+
+  std::vector<std::size_t> load(dirs.size(), 0);
+  for (const Entry& e : entries) {
+    int best = e.candidates.front();
+    for (int cand : e.candidates) {
+      if (load[static_cast<std::size_t>(cand)] <
+          load[static_cast<std::size_t>(best)]) {
+        best = cand;
+      }
+    }
+    part.region_of[static_cast<std::size_t>(e.rank)] = best;
+    part.members[static_cast<std::size_t>(best)].push_back(e.rank);
+    ++load[static_cast<std::size_t>(best)];
+  }
+
+  // Furthest-Distance-First within each region (paper: the message with the
+  // furthest distance to travel leaves first).
+  for (auto& region : part.members) {
+    std::sort(region.begin(), region.end(), [&](Rank a, Rank b) {
+      const int da = torus.distance(root, a);
+      const int db = torus.distance(root, b);
+      if (da != db) return da > db;
+      return a < b;
+    });
+  }
+  return part;
+}
+
+}  // namespace meshmp::topo

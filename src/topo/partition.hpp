@@ -1,0 +1,36 @@
+#pragma once
+
+// Root-link region partition for the OPT one-to-all personalized
+// communication algorithm (paper section 5.2).
+//
+// The mesh is split into k regions, one per link leaving the root, such that
+// every node in region i is reachable from the root *through link i* in the
+// minimal number of steps. Region sizes are balanced so the root, which must
+// emit all p-1 messages, drains in ceil((p-1)/k) steps.
+
+#include <vector>
+
+#include "topo/torus.hpp"
+
+namespace meshmp::topo {
+
+struct RegionPartition {
+  /// The direction (root link) owning each region, indexed by region id.
+  std::vector<Dir> region_dir;
+  /// region id for every rank; -1 for the root itself.
+  std::vector<int> region_of;
+  /// Ranks per region, each sorted by descending distance from the root
+  /// (Furthest-Distance-First order).
+  std::vector<std::vector<Rank>> members;
+
+  [[nodiscard]] int num_regions() const {
+    return static_cast<int>(region_dir.size());
+  }
+};
+
+/// Builds the OPT partition around `root`. Every non-root node is assigned to
+/// exactly one region whose first hop starts a minimal route to it; a greedy
+/// most-constrained-first pass keeps the regions balanced.
+RegionPartition make_region_partition(const Torus& torus, Rank root);
+
+}  // namespace meshmp::topo

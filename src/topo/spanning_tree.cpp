@@ -1,0 +1,70 @@
+#include "topo/spanning_tree.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+namespace meshmp::topo {
+
+namespace {
+
+/// Reachable steps from the root along +d / -d with wraparound rings split
+/// as +floor(ext/2), -floor((ext-1)/2); without wraparound the split follows
+/// the plain signed displacement.
+int range_in_dir(const Torus& t, int dim, int sign) {
+  const int ext = t.shape()[dim];
+  if (!t.wraps()) return ext - 1;  // bounded by the mesh edge anyway
+  return sign > 0 ? ext / 2 : (ext - 1) / 2;
+}
+
+}  // namespace
+
+std::optional<Rank> bcast_parent(const Torus& t, Rank root, Rank me) {
+  if (me == root) return std::nullopt;
+  const Coord rc = t.coord(root);
+  const Coord mc = t.coord(me);
+  int h = -1;
+  for (int d = 0; d < t.ndims(); ++d) {
+    if (t.delta(rc, mc, d) != 0) h = d;
+  }
+  assert(h >= 0);
+  const int dd = t.delta(rc, mc, h);
+  // One step back toward the root along the highest displaced dimension.
+  const Dir back{static_cast<std::int8_t>(h),
+                 static_cast<std::int8_t>(dd > 0 ? -1 : +1)};
+  auto p = t.neighbor(mc, back);
+  assert(p);
+  return t.rank(*p);
+}
+
+std::vector<Rank> bcast_children(const Torus& t, Rank root, Rank me) {
+  const Coord rc = t.coord(root);
+  const Coord mc = t.coord(me);
+  // Highest displaced dimension of *me* relative to the root.
+  int h = -1;
+  for (int d = 0; d < t.ndims(); ++d) {
+    if (t.delta(rc, mc, d) != 0) h = d;
+  }
+  std::vector<Rank> kids;
+  for (int d = (h < 0 ? 0 : h); d < t.ndims(); ++d) {
+    for (int sign : {+1, -1}) {
+      if (d == h) {
+        // Continue the flow away from the root along my own direction.
+        const int dd = t.delta(rc, mc, d);
+        if ((dd > 0) != (sign > 0)) continue;
+        if (std::abs(dd) + 1 > range_in_dir(t, d, sign)) continue;
+      } else {
+        // Initiate the next dimension (both directions, range permitting).
+        if (range_in_dir(t, d, sign) < 1) continue;
+      }
+      const Dir dir{static_cast<std::int8_t>(d),
+                    static_cast<std::int8_t>(sign)};
+      auto n = t.neighbor(mc, dir);
+      if (!n) continue;
+      kids.push_back(t.rank(*n));
+    }
+  }
+  return kids;
+}
+
+}  // namespace meshmp::topo

@@ -1,0 +1,23 @@
+#pragma once
+
+// The dimension-ordered broadcast spanning tree of a mesh/torus (paper
+// sec. 5.2): data flows along the x axis first, then across the xy plane,
+// then through all yz planes. Pure geometry — used by the user-level
+// collectives (coll/) and by the interrupt-level collectives prototype
+// (via/, paper sec. 7).
+
+#include <optional>
+#include <vector>
+
+#include "topo/torus.hpp"
+
+namespace meshmp::topo {
+
+/// A node's parent: one hop toward the root along its *highest* displaced
+/// dimension (nullopt for the root itself).
+std::optional<Rank> bcast_parent(const Torus& t, Rank root, Rank me);
+
+/// All nodes whose bcast_parent is `me` — always mesh neighbours of `me`.
+std::vector<Rank> bcast_children(const Torus& t, Rank root, Rank me);
+
+}  // namespace meshmp::topo

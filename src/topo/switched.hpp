@@ -1,0 +1,23 @@
+#pragma once
+
+// Switched (star/Clos) topology descriptor used for the Myrinet comparison
+// cluster (paper section 6): every node has one port into a full-bisection
+// non-blocking switch, so any pair can communicate at full port rate.
+
+#include <cstdint>
+
+#include "topo/torus.hpp"
+
+namespace meshmp::topo {
+
+struct SwitchedTopology {
+  Rank nodes = 0;
+
+  [[nodiscard]] Rank size() const noexcept { return nodes; }
+  /// Every node reaches every other node through the switch in one "hop".
+  [[nodiscard]] int distance(Rank a, Rank b) const noexcept {
+    return a == b ? 0 : 1;
+  }
+};
+
+}  // namespace meshmp::topo

@@ -1,0 +1,166 @@
+#include "topo/torus.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace meshmp::topo {
+
+Torus::Torus(Coord shape, bool wrap) : shape_(shape), wrap_(wrap) {
+  if (shape.ndims() < 1 || shape.ndims() > kMaxDims) {
+    throw std::invalid_argument("Torus: 1..4 dimensions supported");
+  }
+  std::int64_t n = 1;
+  for (int d = 0; d < shape.ndims(); ++d) {
+    if (shape[d] < 1) throw std::invalid_argument("Torus: extent must be >= 1");
+    n *= shape[d];
+  }
+  size_ = static_cast<Rank>(n);
+}
+
+int Torus::ports() const noexcept {
+  int p = 0;
+  for (int d = 0; d < ndims(); ++d) {
+    if (shape_[d] > 1) p += 2;
+  }
+  return p;
+}
+
+Rank Torus::rank(const Coord& c) const {
+  assert(c.ndims() == ndims());
+  Rank r = 0;
+  for (int d = ndims() - 1; d >= 0; --d) {
+    assert(c[d] >= 0 && c[d] < shape_[d]);
+    r = r * shape_[d] + c[d];
+  }
+  return r;
+}
+
+Coord Torus::coord(Rank r) const {
+  assert(r >= 0 && r < size_);
+  Coord c = Coord::zeros(ndims());
+  for (int d = 0; d < ndims(); ++d) {
+    c[d] = static_cast<int>(r % shape_[d]);
+    r /= shape_[d];
+  }
+  return c;
+}
+
+std::optional<Coord> Torus::neighbor(const Coord& c, Dir dir) const {
+  assert(dir.dim >= 0 && dir.dim < ndims());
+  const int extent = shape_[dir.dim];
+  if (extent <= 1) return std::nullopt;
+  Coord n = c;
+  int x = c[dir.dim] + dir.sign;
+  if (x < 0 || x >= extent) {
+    if (!wrap_) return std::nullopt;
+    x = (x + extent) % extent;
+  }
+  n[dir.dim] = x;
+  return n;
+}
+
+std::optional<Rank> Torus::neighbor(Rank r, Dir dir) const {
+  auto n = neighbor(coord(r), dir);
+  if (!n) return std::nullopt;
+  return rank(*n);
+}
+
+int Torus::delta(const Coord& from, const Coord& to, int dim) const {
+  const int extent = shape_[dim];
+  int d = to[dim] - from[dim];
+  if (wrap_ && extent > 1) {
+    // Reduce into the minimal signed displacement; on an exact half-way tie
+    // (both ways around the ring are minimal) prefer the positive direction.
+    d %= extent;
+    if (d > extent / 2) d -= extent;
+    if (d < -(extent / 2)) d += extent;
+    if (2 * std::abs(d) == extent && d < 0) d = -d;
+  }
+  return d;
+}
+
+int Torus::distance(const Coord& from, const Coord& to) const {
+  int dist = 0;
+  for (int d = 0; d < ndims(); ++d) dist += std::abs(delta(from, to, d));
+  return dist;
+}
+
+int Torus::distance(Rank from, Rank to) const {
+  return distance(coord(from), coord(to));
+}
+
+std::optional<Dir> Torus::sdf_next(const Coord& from, const Coord& to) const {
+  int best_dim = -1;
+  int best_steps = 0;
+  for (int d = 0; d < ndims(); ++d) {
+    const int steps = std::abs(delta(from, to, d));
+    if (steps == 0) continue;
+    if (best_dim < 0 || steps < best_steps) {
+      best_dim = d;
+      best_steps = steps;
+    }
+  }
+  if (best_dim < 0) return std::nullopt;
+  const int sign = delta(from, to, best_dim) > 0 ? +1 : -1;
+  return Dir{static_cast<std::int8_t>(best_dim),
+             static_cast<std::int8_t>(sign)};
+}
+
+std::vector<Dir> Torus::minimal_first_hops(const Coord& from,
+                                           const Coord& to) const {
+  std::vector<Dir> dirs;
+  for (int d = 0; d < ndims(); ++d) {
+    const int extent = shape_[d];
+    const int dd = delta(from, to, d);
+    if (dd == 0) continue;
+    dirs.push_back(Dir{static_cast<std::int8_t>(d),
+                       static_cast<std::int8_t>(dd > 0 ? +1 : -1)});
+    // With wraparound, a displacement of exactly extent/2 is minimal both
+    // ways around the ring.
+    if (wrap_ && 2 * std::abs(dd) == extent) {
+      dirs.push_back(Dir{static_cast<std::int8_t>(d),
+                         static_cast<std::int8_t>(dd > 0 ? -1 : +1)});
+    }
+  }
+  return dirs;
+}
+
+std::vector<Dir> Torus::route(const Coord& from, const Coord& to) const {
+  std::vector<Dir> hops;
+  Coord cur = from;
+  while (cur != to) {
+    auto dir = sdf_next(cur, to);
+    assert(dir);
+    hops.push_back(*dir);
+    auto n = neighbor(cur, *dir);
+    assert(n);
+    cur = *n;
+  }
+  return hops;
+}
+
+std::vector<Dir> Torus::route_via(const Coord& from, const Coord& to,
+                                  Dir first) const {
+  assert(from != to);
+  std::vector<Dir> hops{first};
+  auto n = neighbor(from, first);
+  assert(n && "route_via: first hop leaves the mesh");
+  auto rest = route(*n, to);
+  hops.insert(hops.end(), rest.begin(), rest.end());
+  return hops;
+}
+
+std::vector<Dir> Torus::directions(const Coord& c) const {
+  std::vector<Dir> dirs;
+  for (int d = 0; d < ndims(); ++d) {
+    for (int sign : {+1, -1}) {
+      Dir dir{static_cast<std::int8_t>(d), static_cast<std::int8_t>(sign)};
+      if (neighbor(c, dir)) dirs.push_back(dir);
+    }
+  }
+  return dirs;
+}
+
+}  // namespace meshmp::topo

@@ -1,0 +1,78 @@
+#pragma once
+
+// Mesh/torus geometry: rank<->coordinate maps, neighbours, torus-aware
+// distances, and the Shortest-Direction-First (SDF) next-hop rule used by the
+// modified M-VIA's kernel packet switching (paper section 4, 5.1).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "topo/coords.hpp"
+
+namespace meshmp::topo {
+
+/// Node index; row-major over coordinates, dimension 0 fastest.
+using Rank = std::int32_t;
+
+class Torus {
+ public:
+  /// `shape` gives the extent per dimension; `wrap` enables the wraparound
+  /// links (the paper's clusters always have them; plain meshes do not).
+  explicit Torus(Coord shape, bool wrap = true);
+
+  [[nodiscard]] int ndims() const noexcept { return shape_.ndims(); }
+  [[nodiscard]] const Coord& shape() const noexcept { return shape_; }
+  [[nodiscard]] bool wraps() const noexcept { return wrap_; }
+  [[nodiscard]] Rank size() const noexcept { return size_; }
+  /// Number of links per node (ports): 2 per dimension, except dimensions of
+  /// extent 1 (no links) and extent 2 without duplicate links.
+  [[nodiscard]] int ports() const noexcept;
+
+  [[nodiscard]] Rank rank(const Coord& c) const;
+  [[nodiscard]] Coord coord(Rank r) const;
+
+  /// Neighbour one step along `dir`, or nullopt at a non-wrapping edge or
+  /// along a dimension of extent 1.
+  [[nodiscard]] std::optional<Coord> neighbor(const Coord& c, Dir dir) const;
+  [[nodiscard]] std::optional<Rank> neighbor(Rank r, Dir dir) const;
+
+  /// Signed minimal displacement from `from` to `to` along `dim`; with
+  /// wraparound this lies in [-extent/2, +extent/2].
+  [[nodiscard]] int delta(const Coord& from, const Coord& to, int dim) const;
+
+  /// Minimal hop count between two nodes.
+  [[nodiscard]] int distance(const Coord& from, const Coord& to) const;
+  [[nodiscard]] int distance(Rank from, Rank to) const;
+
+  /// Shortest-Direction-First next hop: among dimensions still needing
+  /// movement, picks the one with the fewest remaining steps (ties go to the
+  /// lowest dimension). Returns nullopt when from == to.
+  [[nodiscard]] std::optional<Dir> sdf_next(const Coord& from,
+                                            const Coord& to) const;
+
+  /// All first-hop directions that start a minimal route from->to.
+  [[nodiscard]] std::vector<Dir> minimal_first_hops(const Coord& from,
+                                                    const Coord& to) const;
+
+  /// Full SDF route (sequence of directions) from->to.
+  [[nodiscard]] std::vector<Dir> route(const Coord& from,
+                                       const Coord& to) const;
+
+  /// Dimension-order route whose first hop is forced to `first`; the rest is
+  /// the SDF route from the first intermediate node. Used by the OPT scatter
+  /// to keep each message inside its region. `first` must be a minimal first
+  /// hop.
+  [[nodiscard]] std::vector<Dir> route_via(const Coord& from, const Coord& to,
+                                           Dir first) const;
+
+  /// All valid directions at a node (its ports).
+  [[nodiscard]] std::vector<Dir> directions(const Coord& c) const;
+
+ private:
+  Coord shape_;
+  bool wrap_;
+  Rank size_;
+};
+
+}  // namespace meshmp::topo

@@ -1,0 +1,522 @@
+#include "via/agent.hpp"
+
+#include <algorithm>
+#include <any>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace meshmp::via {
+
+using hw::Cpu;
+using sim::Task;
+
+namespace {
+
+std::uint32_t ceil_frags(std::int64_t bytes, std::int64_t mtu) {
+  if (bytes <= 0) return 1;  // zero-byte messages still take one frame
+  return static_cast<std::uint32_t>((bytes + mtu - 1) / mtu);
+}
+
+std::uint64_t kcoll_key(topo::Rank root, std::uint32_t seq) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(root))
+          << 32) |
+         seq;
+}
+
+std::vector<std::byte> pack_double(double v) {
+  std::vector<std::byte> out(sizeof(double));
+  std::memcpy(out.data(), &v, sizeof(double));
+  return out;
+}
+
+double unpack_double(const std::vector<std::byte>& bytes) {
+  assert(bytes.size() == sizeof(double));
+  double v;
+  std::memcpy(&v, bytes.data(), sizeof(double));
+  return v;
+}
+
+}  // namespace
+
+KernelAgent::KernelAgent(hw::NodeHw& node, const topo::Torus& torus,
+                         topo::Rank mesh_rank, ViaParams params, sim::Rng rng)
+    : node_(node),
+      torus_(torus),
+      me_(mesh_rank),
+      my_coord_(torus.coord(mesh_rank)),
+      params_(params),
+      memory_(mesh_rank, rng.fork()),
+      rng_(rng) {}
+
+KernelAgent::~KernelAgent() = default;
+
+void KernelAgent::attach_nic(topo::Dir dir, hw::Nic& nic) {
+  nic_by_dir_[dir.index()] = &nic;
+  nic.set_driver(this);
+}
+
+Vi& KernelAgent::create_vi() {
+  vis_.push_back(
+      std::make_unique<Vi>(*this, static_cast<std::uint32_t>(vis_.size())));
+  return *vis_.back();
+}
+
+void KernelAgent::listen(std::uint32_t service) {
+  if (!accept_queues_.contains(service)) {
+    accept_queues_.emplace(service, std::make_unique<sim::Queue<Vi*>>(
+                                        node_.cpu().engine()));
+  }
+}
+
+Task<Vi*> KernelAgent::connect(net::NodeId remote, std::uint32_t service) {
+  Vi& vi = create_vi();
+  vi.remote_node_ = remote;
+  ViaHeader h;
+  h.kind = MsgKind::kConnReq;
+  h.src_vi = vi.id();
+  h.service = service;
+  kernel_post(make_frame(remote, h, {}));
+  co_await vi.conn_done_.wait();
+  co_return &vi;
+}
+
+Task<Vi*> KernelAgent::accept(std::uint32_t service) {
+  listen(service);
+  Vi* vi = co_await accept_queues_.at(service)->pop();
+  co_return vi;
+}
+
+net::Frame KernelAgent::make_frame(net::NodeId dst, ViaHeader h,
+                                   std::vector<std::byte> payload) const {
+  net::Frame f;
+  f.src = me_;
+  f.dst = dst;
+  f.proto = 0;
+  f.wire_bytes =
+      static_cast<std::int64_t>(payload.size()) + params_.header_bytes;
+  f.payload = std::move(payload);
+  f.meta = h;
+  return f;
+}
+
+hw::Nic& KernelAgent::egress_for(net::NodeId dst) {
+  assert(dst != me_ && "egress_for: frame addressed to self");
+  const auto dir = torus_.sdf_next(my_coord_, torus_.coord(dst));
+  assert(dir && "egress_for: no route");
+  auto it = nic_by_dir_.find(dir->index());
+  if (it == nic_by_dir_.end()) {
+    throw std::logic_error("KernelAgent: no adapter on direction " +
+                           dir->str());
+  }
+  return *it->second;
+}
+
+void KernelAgent::kernel_post(net::Frame f) {
+  egress_for(f.dst).kernel_enqueue(std::move(f));
+}
+
+Task<> KernelAgent::post_with_backpressure(hw::Nic& nic, net::Frame f) {
+  while (nic.tx_free() == 0) co_await nic.tx_space().next();
+  const bool ok = nic.post_tx(std::move(f));
+  assert(ok);
+  (void)ok;
+}
+
+Task<> KernelAgent::transmit_message(Vi& vi, MsgKind kind,
+                                     std::vector<std::byte> data,
+                                     std::uint64_t immediate,
+                                     const MemToken* token,
+                                     std::uint64_t rma_offset) {
+  if (!vi.connected()) throw std::logic_error("Vi::send on unconnected VI");
+  if (static_cast<std::int64_t>(data.size()) > params_.max_message_bytes) {
+    throw std::invalid_argument("message exceeds max_message_bytes");
+  }
+  const auto& hp = node_.cpu().host();
+  const auto total = static_cast<std::int64_t>(data.size());
+  const std::uint32_t nfrags = ceil_frags(total, params_.mtu_payload);
+
+  co_await vi.send_lock_.acquire();
+  const std::uint32_t msg_id = vi.next_msg_id_++;
+  hw::Nic& nic = egress_for(vi.remote_node_);
+  const bool reliable =
+      params_.reliability == Reliability::kReliableDelivery;
+
+  // One kernel trap segments the whole message: charge the per-fragment
+  // driver work as a single CPU burst, then stream descriptors to the ring.
+  co_await node_.cpu().busy(
+      hp.via_tx_per_frame * static_cast<sim::Duration>(nfrags), Cpu::kUser);
+
+  for (std::uint32_t i = 0; i < nfrags; ++i) {
+    const std::int64_t off = static_cast<std::int64_t>(i) *
+                             params_.mtu_payload;
+    const std::int64_t len =
+        std::min<std::int64_t>(params_.mtu_payload, total - off);
+    std::vector<std::byte> chunk;
+    if (len > 0) {
+      chunk.assign(data.begin() + off, data.begin() + off + len);
+    }
+
+    ViaHeader h;
+    h.kind = kind;
+    h.src_vi = vi.id();
+    h.dst_vi = vi.remote_vi();
+    h.msg_id = msg_id;
+    h.frag = i;
+    h.nfrags = nfrags;
+    h.msg_bytes = static_cast<std::uint64_t>(total);
+    h.immediate = immediate;
+    if (token != nullptr) {
+      h.rma_handle = token->handle;
+      h.rma_key = token->key;
+      h.rma_offset = rma_offset + static_cast<std::uint64_t>(off);
+    }
+    if (reliable) h.seq = vi.next_seq_++;
+
+    net::Frame f = make_frame(vi.remote_node_, h, std::move(chunk));
+
+    if (reliable) {
+      if (vi.unacked_.empty()) {
+        vi.oldest_unacked_ = node_.cpu().engine().now();
+      }
+      vi.unacked_.push_back(f);  // keep a copy for go-back-N
+      arm_retx_timer(vi);
+    }
+    co_await post_with_backpressure(nic, std::move(f));
+  }
+  vi.send_lock_.release();
+  vi.counters_.inc(kind == MsgKind::kRmaWrite ? "tx_rma" : "tx_messages");
+}
+
+// --------------------------------------------------------------------------
+// Receive path (ISR context: the caller holds the CPU at interrupt priority).
+// --------------------------------------------------------------------------
+
+Task<> KernelAgent::handle_rx(net::Frame frame, hw::IsrContext& ctx) {
+  const auto& hp = node_.cpu().host();
+
+  if (frame.dst != me_) {
+    // Kernel-level packet switching: pick the SDF egress adapter and re-post
+    // without any user-space copy (paper sec. 5.1: ~12.5 us/hop).
+    counters_.inc("fwd_frames");
+    co_await ctx.spend(hp.via_forward_per_frame);
+    kernel_post(std::move(frame));
+    co_return;
+  }
+
+  const ViaHeader* h = std::any_cast<ViaHeader>(&frame.meta);
+  if (h == nullptr) {
+    counters_.inc("rx_bad_frame");
+    co_return;
+  }
+
+  switch (h->kind) {
+    case MsgKind::kConnReq:
+    case MsgKind::kConnAck:
+      rx_connect(*h, frame);
+      co_await ctx.spend(1_us);  // kernel agent work
+      co_return;
+    case MsgKind::kAck: {
+      if (h->dst_vi >= vis_.size()) {
+        counters_.inc("rx_bad_vi");
+        co_return;
+      }
+      rx_ack(*vis_[h->dst_vi], *h);
+      co_await ctx.spend(300);  // ack bookkeeping
+      co_return;
+    }
+    case MsgKind::kKernelReduce: {
+      // Combine in the ISR: no user copy, no process wakeup (paper sec. 7).
+      co_await ctx.spend(hp.via_rx_per_frame + 200);
+      const auto root = static_cast<topo::Rank>(h->immediate);
+      KernelColl& st = kcoll(root, h->msg_id);
+      st.acc += unpack_double(frame.payload);
+      --st.waiting_children;
+      counters_.inc("kcoll_up_rx");
+      kcoll_advance(root, h->msg_id);
+      co_return;
+    }
+    case MsgKind::kKernelBcast: {
+      co_await ctx.spend(hp.via_rx_per_frame);
+      const auto root = static_cast<topo::Rank>(h->immediate);
+      // Waking the single local waiter is the only user-visible work.
+      co_await ctx.spend(hp.wakeup);
+      kcoll_finish(root, h->msg_id, unpack_double(frame.payload));
+      co_return;
+    }
+    case MsgKind::kData:
+    case MsgKind::kRmaWrite: {
+      if (h->dst_vi >= vis_.size()) {
+        counters_.inc("rx_bad_vi");
+        co_return;
+      }
+      Vi& vi = *vis_[h->dst_vi];
+      if (h->kind == MsgKind::kData) {
+        co_await rx_data(vi, *h, frame, ctx);
+      } else {
+        co_await rx_rma(vi, *h, frame, ctx);
+      }
+      co_return;
+    }
+  }
+}
+
+bool KernelAgent::reliable_accept(Vi& vi, const ViaHeader& h) {
+  if (params_.reliability != Reliability::kReliableDelivery) return true;
+  if (h.seq != vi.expected_seq_) {
+    vi.counters_.inc("rx_out_of_order");
+    // Re-advertise the cumulative ack so the peer's go-back-N converges.
+    send_ack(vi);
+    return false;
+  }
+  ++vi.expected_seq_;
+  ++vi.frames_since_ack_;
+  if (vi.frames_since_ack_ >= params_.ack_every) {
+    send_ack(vi);
+  } else {
+    arm_ack_timer(vi);
+  }
+  return true;
+}
+
+Task<> KernelAgent::rx_data(Vi& vi, const ViaHeader& h, net::Frame& f,
+                            hw::IsrContext& ctx) {
+  const auto& hp = node_.cpu().host();
+  co_await ctx.spend(hp.via_rx_per_frame);
+  if (!reliable_accept(vi, h)) co_return;
+
+  Vi::Reassembly& r = vi.rx_;
+  if (!r.active || r.msg_id != h.msg_id) {
+    if (r.active) {
+      vi.counters_.inc("rx_incomplete_message");
+    }
+    r = Vi::Reassembly{};
+    r.active = true;
+    r.msg_id = h.msg_id;
+    r.nfrags = h.nfrags;
+    r.immediate = h.immediate;
+    if (vi.recv_descs_.empty()) {
+      r.dropping = true;
+      vi.counters_.inc("rx_no_descriptor");
+    } else if (static_cast<std::int64_t>(h.msg_bytes) >
+               vi.recv_descs_.front()) {
+      vi.recv_descs_.pop_front();
+      r.dropping = true;
+      vi.counters_.inc("rx_descriptor_too_small");
+    } else {
+      vi.recv_descs_.pop_front();
+      r.buf.assign(h.msg_bytes, std::byte{0});
+    }
+  }
+
+  if (!r.dropping && !f.payload.empty()) {
+    // The single receive-side memory copy of the modified M-VIA: kernel ring
+    // buffer -> (registered) user buffer.
+    const bool hot =
+        static_cast<std::int64_t>(h.msg_bytes) <= hp.cache_bytes;
+    co_await ctx.spend_copy(static_cast<std::int64_t>(f.payload.size()), hot);
+    const auto off = static_cast<std::ptrdiff_t>(h.frag) *
+                     static_cast<std::ptrdiff_t>(params_.mtu_payload);
+    std::copy(f.payload.begin(), f.payload.end(), r.buf.begin() + off);
+  }
+  ++r.frags_seen;
+
+  if (r.frags_seen == r.nfrags) {
+    if (!r.dropping) {
+      co_await ctx.spend(hp.wakeup);
+      vi.completions_.push(RecvCompletion{std::move(r.buf), r.immediate});
+      vi.counters_.inc("rx_messages");
+    }
+    r = Vi::Reassembly{};
+  }
+}
+
+Task<> KernelAgent::rx_rma(Vi& vi, const ViaHeader& h, net::Frame& f,
+                           hw::IsrContext& ctx) {
+  const auto& hp = node_.cpu().host();
+  co_await ctx.spend(hp.via_rx_per_frame);
+  if (!reliable_accept(vi, h)) co_return;
+  const bool hot = static_cast<std::int64_t>(h.msg_bytes) <= hp.cache_bytes;
+  co_await ctx.spend_copy(static_cast<std::int64_t>(f.payload.size()), hot);
+  if (!memory_.write(h.rma_handle, h.rma_key, h.rma_offset, f.payload)) {
+    vi.counters_.inc("rma_rejected");
+  } else {
+    vi.counters_.inc("rx_rma_frames");
+  }
+}
+
+void KernelAgent::rx_ack(Vi& vi, const ViaHeader& h) {
+  bool progress = false;
+  while (!vi.unacked_.empty()) {
+    const auto* fh = std::any_cast<ViaHeader>(&vi.unacked_.front().meta);
+    assert(fh != nullptr);
+    if (fh->seq < h.ack_seq) {
+      vi.unacked_.pop_front();
+      progress = true;
+    } else {
+      break;
+    }
+  }
+  if (progress) {
+    vi.retries_ = 0;
+    vi.oldest_unacked_ = node_.cpu().engine().now();
+  }
+}
+
+void KernelAgent::rx_connect(const ViaHeader& h, const net::Frame& f) {
+  if (h.kind == MsgKind::kConnReq) {
+    auto it = accept_queues_.find(h.service);
+    if (it == accept_queues_.end()) {
+      counters_.inc("conn_refused");
+      return;
+    }
+    Vi& vi = create_vi();
+    vi.remote_node_ = f.src;
+    vi.remote_vi_ = h.src_vi;
+    vi.connected_ = true;
+    it->second->push(&vi);
+    ViaHeader ack;
+    ack.kind = MsgKind::kConnAck;
+    ack.src_vi = vi.id();
+    ack.dst_vi = h.src_vi;
+    kernel_post(make_frame(f.src, ack, {}));
+    return;
+  }
+  // kConnAck at the initiator.
+  if (h.dst_vi >= vis_.size()) {
+    counters_.inc("rx_bad_vi");
+    return;
+  }
+  Vi& vi = *vis_[h.dst_vi];
+  vi.remote_vi_ = h.src_vi;
+  vi.connected_ = true;
+  vi.conn_done_.fire();
+}
+
+void KernelAgent::send_ack(Vi& vi) {
+  vi.frames_since_ack_ = 0;
+  ViaHeader h;
+  h.kind = MsgKind::kAck;
+  h.src_vi = vi.id();
+  h.dst_vi = vi.remote_vi();
+  h.ack_seq = vi.expected_seq_;
+  kernel_post(make_frame(vi.remote_node_, h, {}));
+}
+
+void KernelAgent::arm_ack_timer(Vi& vi) {
+  if (vi.ack_timer_running_) return;
+  vi.ack_timer_running_ = true;
+  ack_timer_loop(vi.id()).detach();
+}
+
+void KernelAgent::arm_retx_timer(Vi& vi) {
+  if (vi.retx_running_) return;
+  vi.retx_running_ = true;
+  retx_timer_loop(vi.id()).detach();
+}
+
+// --------------------------------------------------------------------------
+// Interrupt-level global reduction (paper sec. 7 future work)
+// --------------------------------------------------------------------------
+
+KernelAgent::KernelColl& KernelAgent::kcoll(topo::Rank root,
+                                            std::uint32_t seq) {
+  auto [it, fresh] = kcolls_.try_emplace(kcoll_key(root, seq));
+  if (fresh) {
+    it->second.waiting_children = static_cast<int>(
+        topo::bcast_children(torus_, root, me_).size());
+    it->second.done =
+        std::make_unique<sim::Trigger>(node_.cpu().engine());
+  }
+  return it->second;
+}
+
+void KernelAgent::kcoll_advance(topo::Rank root, std::uint32_t seq) {
+  KernelColl& st = kcoll(root, seq);
+  if (!st.user_in || st.waiting_children > 0 || st.up_sent) return;
+  st.up_sent = true;
+  if (me_ == root) {
+    kcoll_finish(root, seq, st.acc);
+    return;
+  }
+  const auto parent = topo::bcast_parent(torus_, root, me_);
+  assert(parent);
+  ViaHeader h;
+  h.kind = MsgKind::kKernelReduce;
+  h.msg_id = seq;
+  h.immediate = static_cast<std::uint64_t>(root);
+  kernel_post(make_frame(*parent, h, pack_double(st.acc)));
+  counters_.inc("kcoll_up_tx");
+}
+
+void KernelAgent::kcoll_finish(topo::Rank root, std::uint32_t seq,
+                               double result) {
+  KernelColl& st = kcoll(root, seq);
+  st.result = result;
+  st.down = true;
+  // Fan the result out to the children entirely at kernel level.
+  ViaHeader h;
+  h.kind = MsgKind::kKernelBcast;
+  h.msg_id = seq;
+  h.immediate = static_cast<std::uint64_t>(root);
+  for (topo::Rank kid : topo::bcast_children(torus_, root, me_)) {
+    kernel_post(make_frame(kid, h, pack_double(result)));
+  }
+  st.done->fire();
+}
+
+Task<double> KernelAgent::kernel_global_sum(double value, topo::Rank root,
+                                            std::uint32_t sequence) {
+  const auto& hp = node_.cpu().host();
+  // One kernel trap to deposit the local contribution.
+  co_await node_.cpu().busy(hp.via_post, Cpu::kUser);
+  KernelColl& st = kcoll(root, sequence);
+  st.acc += value;
+  st.user_in = true;
+  kcoll_advance(root, sequence);
+  co_await st.done->wait();
+  // After completion the state still exists (st.done fired); reap it.
+  const double result = kcoll(root, sequence).result;
+  kcolls_.erase(kcoll_key(root, sequence));
+  co_await node_.cpu().busy(hp.via_completion, Cpu::kUser);
+  co_return result;
+}
+
+Task<> KernelAgent::ack_timer_loop(std::uint32_t vi_id) {
+  Vi& vi = *vis_[vi_id];
+  auto& eng = node_.cpu().engine();
+  while (vi.frames_since_ack_ > 0) {
+    co_await sim::delay(eng, params_.ack_delay);
+    if (vi.frames_since_ack_ > 0) send_ack(vi);
+  }
+  vi.ack_timer_running_ = false;
+}
+
+Task<> KernelAgent::retx_timer_loop(std::uint32_t vi_id) {
+  Vi& vi = *vis_[vi_id];
+  auto& eng = node_.cpu().engine();
+  const auto& hp = node_.cpu().host();
+  while (!vi.unacked_.empty() && !vi.failed_) {
+    co_await sim::delay(eng, params_.retx_timeout);
+    if (vi.unacked_.empty()) break;
+    if (eng.now() - vi.oldest_unacked_ < params_.retx_timeout) continue;
+    if (++vi.retries_ > params_.max_retries) {
+      vi.failed_ = true;
+      vi.counters_.inc("failed");
+      break;
+    }
+    // Go-back-N: retransmit the whole unacked window from kernel context.
+    vi.counters_.inc("retransmits");
+    co_await node_.cpu().busy(
+        hp.via_tx_per_frame * static_cast<sim::Duration>(vi.unacked_.size()),
+        Cpu::kKernel);
+    for (const net::Frame& f : vi.unacked_) {
+      kernel_post(f);  // copy
+    }
+    vi.oldest_unacked_ = eng.now();
+  }
+  vi.retx_running_ = false;
+}
+
+}  // namespace meshmp::via

@@ -1,0 +1,145 @@
+#pragma once
+
+// The per-node M-VIA kernel agent.
+//
+// This is the "modified M-VIA" of the paper: it owns the node's VIs and
+// registered memory, fragments and reassembles messages, implements the
+// reliability modes, and — the key modification — performs *kernel-level
+// packet switching* so that non-nearest-neighbour communication works on a
+// mesh: frames addressed to another node are re-posted to the SDF-chosen
+// egress adapter at interrupt level, without ever touching user space
+// (paper sec. 4 and 5.1).
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/nic.hpp"
+#include "hw/node.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "topo/spanning_tree.hpp"
+#include "topo/torus.hpp"
+#include "via/header.hpp"
+#include "via/memory.hpp"
+#include "via/params.hpp"
+#include "via/vi.hpp"
+
+namespace meshmp::via {
+
+class KernelAgent final : public hw::NicDriver {
+ public:
+  /// `mesh_rank` is this node's rank within `torus`; node ids on frames equal
+  /// torus ranks.
+  KernelAgent(hw::NodeHw& node, const topo::Torus& torus,
+              topo::Rank mesh_rank, ViaParams params, sim::Rng rng);
+  ~KernelAgent() override;
+
+  /// Registers the adapter serving mesh direction `dir` and becomes its
+  /// driver.
+  void attach_nic(topo::Dir dir, hw::Nic& nic);
+
+  [[nodiscard]] net::NodeId node_id() const noexcept { return me_; }
+  [[nodiscard]] hw::NodeHw& node() noexcept { return node_; }
+  [[nodiscard]] MemoryRegistry& memory() noexcept { return memory_; }
+  [[nodiscard]] const ViaParams& params() const noexcept { return params_; }
+  [[nodiscard]] const topo::Torus& torus() const noexcept { return torus_; }
+
+  // -- connection management (the only place the "OS" is involved) --------
+  Vi& create_vi();
+  [[nodiscard]] Vi& vi(std::uint32_t id) { return *vis_.at(id); }
+  /// Declares willingness to accept connections for `service`.
+  void listen(std::uint32_t service);
+  /// Dials (remote, service); resolves to the connected local VI.
+  sim::Task<Vi*> connect(net::NodeId remote, std::uint32_t service);
+  /// Waits for the next accepted connection on `service`.
+  sim::Task<Vi*> accept(std::uint32_t service);
+
+  // -- interrupt-level collectives (paper sec. 7 prototype) ---------------
+  /// Global sum over all mesh nodes with intermediate combining performed in
+  /// the receive ISR: interior nodes never copy to user space or wake a
+  /// process, which removes most of the per-hop latency of the user-level
+  /// global combine. `sequence` must be identical on all nodes per call and
+  /// unique across concurrent calls.
+  sim::Task<double> kernel_global_sum(double value, topo::Rank root,
+                                      std::uint32_t sequence);
+
+  // -- NicDriver ----------------------------------------------------------
+  sim::Task<> handle_rx(net::Frame frame, hw::IsrContext& ctx) override;
+
+  [[nodiscard]] const sim::Counters& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  friend class Vi;
+
+  /// Fragments and transmits one message (kData or kRmaWrite) on `vi`.
+  sim::Task<> transmit_message(Vi& vi, MsgKind kind,
+                               std::vector<std::byte> data,
+                               std::uint64_t immediate, const MemToken* token,
+                               std::uint64_t rma_offset);
+
+  /// Picks the egress adapter for frames to `dst` (SDF first hop).
+  hw::Nic& egress_for(net::NodeId dst);
+
+  /// ISR-safe single-frame transmit: drops (and counts) when the ring is
+  /// full. Used for forwarding, acks and retransmissions.
+  void kernel_post(net::Frame f);
+
+  /// User-context transmit that waits for descriptor-ring space.
+  sim::Task<> post_with_backpressure(hw::Nic& nic, net::Frame f);
+
+  net::Frame make_frame(net::NodeId dst, ViaHeader h,
+                        std::vector<std::byte> payload) const;
+
+  // receive-path pieces (run in ISR context)
+  sim::Task<> rx_data(Vi& vi, const ViaHeader& h, net::Frame& f,
+                      hw::IsrContext& ctx);
+  sim::Task<> rx_rma(Vi& vi, const ViaHeader& h, net::Frame& f,
+                     hw::IsrContext& ctx);
+  void rx_ack(Vi& vi, const ViaHeader& h);
+  void rx_connect(const ViaHeader& h, const net::Frame& f);
+  /// Reliable-delivery in-order check; returns false if the frame must be
+  /// discarded.
+  bool reliable_accept(Vi& vi, const ViaHeader& h);
+  struct KernelColl {
+    double acc = 0;
+    int waiting_children = 0;
+    bool user_in = false;
+    bool up_sent = false;
+    bool down = false;
+    double result = 0;
+    std::unique_ptr<sim::Trigger> done;
+  };
+  KernelColl& kcoll(topo::Rank root, std::uint32_t seq);
+  void kcoll_advance(topo::Rank root, std::uint32_t seq);
+  void kcoll_finish(topo::Rank root, std::uint32_t seq, double result);
+
+  void send_ack(Vi& vi);
+  void arm_ack_timer(Vi& vi);
+  void arm_retx_timer(Vi& vi);
+  sim::Task<> ack_timer_loop(std::uint32_t vi_id);
+  sim::Task<> retx_timer_loop(std::uint32_t vi_id);
+
+  hw::NodeHw& node_;
+  const topo::Torus& torus_;
+  net::NodeId me_;
+  topo::Coord my_coord_;
+  ViaParams params_;
+  MemoryRegistry memory_;
+  sim::Rng rng_;
+
+  std::unordered_map<int, hw::Nic*> nic_by_dir_;
+  std::vector<std::unique_ptr<Vi>> vis_;
+  std::unordered_map<std::uint32_t,
+                     std::unique_ptr<sim::Queue<Vi*>>>
+      accept_queues_;  // keyed by service
+  std::unordered_map<std::uint64_t, KernelColl> kcolls_;  // (root, seq)
+
+  sim::Counters counters_;
+};
+
+}  // namespace meshmp::via

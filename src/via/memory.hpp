@@ -1,0 +1,93 @@
+#pragma once
+
+// Registered memory regions.
+//
+// VIA requires data buffers to be registered (pinned) before the adapter may
+// DMA into them. Regions carry a protection key: an RMA write must present
+// the right (handle, key) pair and stay inside the region's bounds, otherwise
+// it is discarded and counted — the simulated equivalent of the VIA
+// protection model.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace meshmp::via {
+
+/// Remote-memory access token handed to a peer so it may RMA-write here.
+struct MemToken {
+  net::NodeId node = -1;
+  std::uint32_t handle = 0;
+  std::uint32_t key = 0;
+  std::uint64_t bytes = 0;
+};
+
+class MemoryRegistry {
+ public:
+  explicit MemoryRegistry(net::NodeId node, sim::Rng rng)
+      : node_(node), rng_(rng) {}
+
+  /// Registers a zero-initialized region and returns its access token.
+  MemToken register_region(std::uint64_t bytes) {
+    const std::uint32_t handle = next_handle_++;
+    Region r;
+    r.key = static_cast<std::uint32_t>(rng_.next() | 1u);
+    r.storage.assign(bytes, std::byte{0});
+    regions_.emplace(handle, std::move(r));
+    return MemToken{node_, handle, regions_.at(handle).key, bytes};
+  }
+
+  void deregister(std::uint32_t handle) { regions_.erase(handle); }
+
+  /// Direct access for the owning process (e.g. to read a received message).
+  [[nodiscard]] std::span<std::byte> region(std::uint32_t handle) {
+    auto it = regions_.find(handle);
+    if (it == regions_.end()) return {};
+    return it->second.storage;
+  }
+
+  /// Validated remote write; returns false (and counts) on any violation.
+  bool write(std::uint32_t handle, std::uint32_t key, std::uint64_t offset,
+             std::span<const std::byte> data) {
+    auto it = regions_.find(handle);
+    if (it == regions_.end()) {
+      counters_.inc("rma_bad_handle");
+      return false;
+    }
+    Region& r = it->second;
+    if (key != r.key) {
+      counters_.inc("rma_bad_key");
+      return false;
+    }
+    if (offset + data.size() > r.storage.size()) {
+      counters_.inc("rma_out_of_bounds");
+      return false;
+    }
+    std::copy(data.begin(), data.end(), r.storage.begin() +
+                                            static_cast<std::ptrdiff_t>(offset));
+    return true;
+  }
+
+  [[nodiscard]] const sim::Counters& counters() const { return counters_; }
+  [[nodiscard]] std::size_t active_regions() const { return regions_.size(); }
+
+ private:
+  struct Region {
+    std::uint32_t key = 0;
+    std::vector<std::byte> storage;
+  };
+
+  net::NodeId node_;
+  sim::Rng rng_;
+  std::uint32_t next_handle_ = 1;
+  std::unordered_map<std::uint32_t, Region> regions_;
+  sim::Counters counters_;
+};
+
+}  // namespace meshmp::via

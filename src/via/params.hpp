@@ -1,0 +1,43 @@
+#pragma once
+
+// Tunables of the modified M-VIA model.
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace meshmp::via {
+
+using namespace sim::literals;
+
+/// NIC-level reliability classes from the VIA specification (paper sec. 2).
+/// Reliable Reception is not modelled separately: on a point-to-point
+/// Ethernet it behaves like Reliable Delivery.
+enum class Reliability {
+  kUnreliable,        ///< lost/corrupt frames simply vanish
+  kReliableDelivery,  ///< go-back-N with cumulative acks and retransmit
+};
+
+struct ViaParams {
+  /// Usable payload per Ethernet frame after the M-VIA header.
+  std::int64_t mtu_payload = 1472;
+  /// Modelled M-VIA header size (added to every frame's wire size).
+  std::int64_t header_bytes = 28;
+
+  Reliability reliability = Reliability::kReliableDelivery;
+
+  /// Cumulative ack after this many in-order data frames...
+  int ack_every = 8;
+  /// ...or this long after the first unacknowledged frame.
+  sim::Duration ack_delay = 100_us;
+  /// Go-back-N retransmission timeout and retry budget. The default sits
+  /// above the worst-case drain time of a full 2048-descriptor ring (~25 ms
+  /// at GigE line rate) so deep pipelines never trigger spurious go-back-N.
+  sim::Duration retx_timeout = 50_ms;
+  int max_retries = 10;
+
+  /// Largest message a single descriptor may describe (sanity bound).
+  std::int64_t max_message_bytes = std::int64_t{1} << 30;
+};
+
+}  // namespace meshmp::via

@@ -1,0 +1,46 @@
+#include "via/vi.hpp"
+
+#include <utility>
+
+#include "via/agent.hpp"
+
+namespace meshmp::via {
+
+Vi::Vi(KernelAgent& agent, std::uint32_t id)
+    : agent_(agent),
+      id_(id),
+      conn_done_(agent.node().cpu().engine()),
+      completions_(agent.node().cpu().engine()),
+      send_lock_(agent.node().cpu().engine(), 1) {}
+
+void Vi::post_recv(std::int64_t max_bytes) {
+  recv_descs_.push_back(max_bytes);
+}
+
+sim::Task<> Vi::send(std::vector<std::byte> data, std::uint64_t immediate) {
+  auto& cpu = agent_.node().cpu();
+  co_await cpu.busy(cpu.host().via_post, hw::Cpu::kUser);
+  co_await agent_.transmit_message(*this, MsgKind::kData, std::move(data),
+                                   immediate, nullptr, 0);
+}
+
+sim::Task<> Vi::rma_write(std::vector<std::byte> data, const MemToken& token,
+                          std::uint64_t offset) {
+  auto& cpu = agent_.node().cpu();
+  co_await cpu.busy(cpu.host().via_post, hw::Cpu::kUser);
+  co_await agent_.transmit_message(*this, MsgKind::kRmaWrite, std::move(data),
+                                   0, &token, offset);
+}
+
+sim::Task<RecvCompletion> Vi::recv_completion() {
+  RecvCompletion c = co_await completions_.pop();
+  auto& cpu = agent_.node().cpu();
+  co_await cpu.busy(cpu.host().via_completion, hw::Cpu::kUser);
+  co_return c;
+}
+
+std::optional<RecvCompletion> Vi::poll_completion() {
+  return completions_.try_pop();
+}
+
+}  // namespace meshmp::via

@@ -1,0 +1,124 @@
+#pragma once
+
+// A Virtual Interface: one endpoint of a connected VI pair.
+//
+// The user-visible surface mirrors the VIA model (paper sec. 2): post receive
+// descriptors, post sends, reap completions from a queue; plus RMA writes
+// into a peer's registered memory. All kernel work (fragmentation, sequence
+// numbers, acks, reassembly, the one receive-side copy) lives in the
+// KernelAgent; the Vi holds per-connection state.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "via/memory.hpp"
+
+namespace meshmp::via {
+
+class KernelAgent;
+
+/// A completed receive: the reassembled message plus its 64-bit immediate.
+struct RecvCompletion {
+  std::vector<std::byte> data;
+  std::uint64_t immediate = 0;
+};
+
+class Vi {
+ public:
+  Vi(KernelAgent& agent, std::uint32_t id);
+  Vi(const Vi&) = delete;
+  Vi& operator=(const Vi&) = delete;
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] bool connected() const noexcept { return connected_; }
+  [[nodiscard]] net::NodeId remote_node() const noexcept {
+    return remote_node_;
+  }
+  [[nodiscard]] std::uint32_t remote_vi() const noexcept { return remote_vi_; }
+
+  /// Posts a receive descriptor able to hold a message of up to `max_bytes`.
+  /// The number of posted descriptors is exactly what the message-passing
+  /// layer advertises as flow-control tokens (paper sec. 5.1).
+  void post_recv(std::int64_t max_bytes);
+  [[nodiscard]] int posted_recvs() const noexcept {
+    return static_cast<int>(recv_descs_.size());
+  }
+
+  /// Sends a message; resolves when every fragment is handed to the adapter
+  /// (wire transfer continues asynchronously).
+  sim::Task<> send(std::vector<std::byte> data, std::uint64_t immediate = 0);
+
+  /// Remote-memory write into the peer's registered region. Zero-copy on the
+  /// user path: the single copy happens in the peer's receive interrupt.
+  sim::Task<> rma_write(std::vector<std::byte> data, const MemToken& token,
+                        std::uint64_t offset = 0);
+
+  /// Blocks until the next receive completion and charges the user-level
+  /// completion-processing cost.
+  sim::Task<RecvCompletion> recv_completion();
+
+  /// Non-blocking completion poll (no CPU cost charged).
+  std::optional<RecvCompletion> poll_completion();
+
+  /// True once reliable delivery gave up (retries exhausted).
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+  [[nodiscard]] const sim::Counters& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  friend class KernelAgent;
+
+  struct Reassembly {
+    std::uint32_t msg_id = 0;
+    std::vector<std::byte> buf;
+    std::uint32_t frags_seen = 0;
+    std::uint32_t nfrags = 0;
+    std::uint64_t immediate = 0;
+    bool active = false;
+    bool dropping = false;
+  };
+
+  KernelAgent& agent_;
+  std::uint32_t id_;
+
+  // connection state
+  bool connected_ = false;
+  net::NodeId remote_node_ = -1;
+  std::uint32_t remote_vi_ = 0;
+  sim::Trigger conn_done_;
+
+  // descriptors and completions
+  std::deque<std::int64_t> recv_descs_;
+  sim::Queue<RecvCompletion> completions_;
+
+  // transmit state (reliable delivery)
+  std::uint32_t next_msg_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::deque<net::Frame> unacked_;
+  sim::Time oldest_unacked_ = 0;
+  int retries_ = 0;
+  bool retx_running_ = false;
+  bool failed_ = false;
+
+  // receive state (reliable delivery)
+  std::uint64_t expected_seq_ = 0;
+  int frames_since_ack_ = 0;
+  bool ack_timer_running_ = false;
+  Reassembly rx_;
+
+  // Serializes the per-VI send work queue: descriptors of one VI transmit in
+  // post order even when several coroutines send on it concurrently.
+  sim::Resource send_lock_;
+
+  sim::Counters counters_;
+};
+
+}  // namespace meshmp::via

@@ -1,0 +1,109 @@
+// Calibration tests: the headline numbers of the paper must come out of the
+// default-parameter simulation (within tolerance). If a model change breaks
+// one of these, the reproduction of the figures is off.
+
+#include <gtest/gtest.h>
+
+#include "common.hpp"  // bench harnesses
+#include "lqcd/app.hpp"
+
+namespace {
+
+using namespace benchutil;
+
+TEST(Calibration, ViaSmallMessageLatencyIs18p5us) {
+  // Paper fig. 2/4: ~18.5 us half round trip below 4 KB.
+  EXPECT_NEAR(via_rtt2_us(64), 18.5, 2.0);
+  EXPECT_NEAR(via_rtt2_us(4), 18.5, 2.5);
+  EXPECT_LT(via_rtt2_us(1024), 30.0);
+}
+
+TEST(Calibration, TcpLatencyAtLeast30PercentAboveVia) {
+  const double via = via_rtt2_us(64);
+  const double tcp = tcp_rtt2_us(64);
+  EXPECT_GE(tcp / via, 1.3);
+  EXPECT_LE(tcp / via, 2.2);  // "at least 30%", not an order of magnitude
+}
+
+TEST(Calibration, ViaSimultaneousBandwidthNear110) {
+  // Paper: "approaching 110 MB/s for not very large message sizes".
+  const double bw = via_simultaneous_bw(16384, 150);
+  EXPECT_GT(bw, 100.0);
+  EXPECT_LT(bw, 125.0);  // cannot beat the wire
+}
+
+TEST(Calibration, ViaBeatsTcpSimultaneousByAboutAThird) {
+  const double via = via_simultaneous_bw(16384, 150);
+  const double tcp = tcp_simultaneous_bw(16384, 150);
+  EXPECT_GE(via / tcp, 1.25);  // paper: 37% better
+}
+
+TEST(Calibration, Aggregate3dPeaksMidSizesAndExceeds2dAtPeak) {
+  // Paper fig. 3: 3-D peaks ~550 MB/s mid-size, falls toward ~400 at the
+  // top; 2-D flattens around its 4-link wire bound.
+  const double peak3 = via_aggregate_bw(3, 16384, 60);
+  EXPECT_GT(peak3, 450.0);
+  EXPECT_LT(peak3, 660.0);
+  const double big3 = via_aggregate_bw(3, 1048576, 12);
+  EXPECT_LT(big3, peak3);
+  EXPECT_GT(big3, 320.0);
+  const double two_d = via_aggregate_bw(2, 16384, 60);
+  EXPECT_GT(two_d, 350.0);
+  EXPECT_LT(two_d, 500.0);
+}
+
+TEST(Calibration, TcpCannotScaleAcrossLinks) {
+  // The motivating observation of the whole paper.
+  const double tcp3 = tcp_aggregate_bw(3, 16384, 40);
+  const double via3 = via_aggregate_bw(3, 16384, 40);
+  EXPECT_LT(tcp3, via3 / 3.0);
+}
+
+TEST(Calibration, MpiQmpLatencyMatchesViaClosely) {
+  // Paper fig. 4: "small implementation overhead of MPI/QMP".
+  const double mp = mpiqmp_rtt2_us(64);
+  EXPECT_NEAR(mp, 18.5, 3.5);
+}
+
+TEST(Calibration, RoutedLatencyGrowsLinearlyPerHop) {
+  // Paper sec. 5.1 reports ~12.5 us per hop. Our model charges the full
+  // interrupt-coalescing delay at every intermediate hop, which lands the
+  // slope a few us higher (~17 us) — the linear shape and the property
+  // "one hop costs less than one endpoint traversal + a hop" both hold;
+  // see EXPERIMENTS.md for the documented deviation.
+  const double h1 = mpiqmp_routed_rtt2_us(1, 64);
+  const double h2 = mpiqmp_routed_rtt2_us(2, 64);
+  const double h4 = mpiqmp_routed_rtt2_us(4, 64);
+  const double slope = (h4 - h1) / 3.0;
+  EXPECT_GT(slope, 10.0);
+  EXPECT_LT(slope, 19.0);
+  // Linearity: the 1->2 increment matches the average slope.
+  EXPECT_NEAR(h2 - h1, slope, 3.0);
+}
+
+TEST(Calibration, EagerRmaJumpAt16K) {
+  // The protocol switch shows up where the CPU is the bottleneck: the 3-D
+  // aggregated bandwidth steps up when messages cross the 16 KiB threshold
+  // because RMA eliminates both user-level copies (paper fig. 4's jump).
+  const double below = mpiqmp_aggregate_bw(3, 15 * 1024, 40);
+  const double above = mpiqmp_aggregate_bw(3, 18 * 1024, 40);
+  EXPECT_GT(above, below * 1.03);
+}
+
+TEST(Calibration, LqcdGigeCostAdvantage) {
+  // Paper table 1: GigE mesh wins $/Mflops even when Myrinet wins Gflops.
+  meshmp::lqcd::DslashRunConfig cfg;
+  cfg.local_extent = 8;
+  cfg.iterations = 3;
+  const auto gige =
+      meshmp::lqcd::run_dslash_gige(meshmp::topo::Coord{2, 4, 4}, cfg);
+  const auto myri = meshmp::lqcd::run_dslash_myrinet(32, cfg);
+  const meshmp::hw::CostParams costs;
+  const double gige_usd = meshmp::lqcd::usd_per_mflops(
+      gige.mflops_per_node, costs.gige_node_usd());
+  const double myri_usd = meshmp::lqcd::usd_per_mflops(
+      myri.mflops_per_node, costs.myrinet_node_usd());
+  EXPECT_LT(gige_usd, myri_usd);
+}
+
+}  // namespace

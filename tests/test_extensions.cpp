@@ -1,0 +1,270 @@
+// Tests for the extension features: the interrupt-level global reduction
+// (paper sec. 7 future work), MPI communicator duplication, allgather,
+// probe/iprobe, and whole-simulation determinism.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/gige_mesh.hpp"
+#include "mp/endpoint.hpp"
+#include "mpi/mpi.hpp"
+#include "qmp/qmp.hpp"
+
+namespace {
+
+using namespace meshmp;
+using namespace meshmp::sim::literals;
+using cluster::GigeMeshCluster;
+using cluster::GigeMeshConfig;
+using sim::Task;
+
+std::vector<std::byte> pattern(std::size_t n, std::uint8_t seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((seed * 5 + i) & 0xff);
+  }
+  return v;
+}
+
+struct World {
+  GigeMeshCluster cluster;
+  std::vector<std::unique_ptr<mp::Endpoint>> eps;
+  std::vector<std::unique_ptr<mpi::Comm>> comms;
+  std::vector<std::unique_ptr<qmp::Machine>> machines;
+  int finished = 0;
+
+  explicit World(topo::Coord shape)
+      : cluster([&] {
+          GigeMeshConfig cfg;
+          cfg.shape = shape;
+          return cfg;
+        }()) {
+    for (topo::Rank r = 0; r < cluster.size(); ++r) {
+      eps.push_back(std::make_unique<mp::Endpoint>(cluster.agent(r),
+                                                   mp::CoreParams{}));
+      comms.push_back(std::make_unique<mpi::Comm>(*eps.back()));
+      machines.push_back(std::make_unique<qmp::Machine>(*eps.back()));
+    }
+  }
+
+  template <typename F>
+  void run_spmd_comm(F prog) {
+    auto wrapper = [](F p, mpi::Comm& c, int& count) -> Task<> {
+      co_await p(c);
+      ++count;
+    };
+    for (auto& c : comms) wrapper(prog, *c, finished).detach();
+    cluster.run();
+    ASSERT_EQ(finished, static_cast<int>(comms.size())) << "rank deadlocked";
+  }
+
+  template <typename F>
+  void run_spmd_qmp(F prog) {
+    auto wrapper = [](F p, qmp::Machine& m, int& count) -> Task<> {
+      co_await p(m);
+      ++count;
+    };
+    for (auto& m : machines) wrapper(prog, *m, finished).detach();
+    cluster.run();
+    ASSERT_EQ(finished, static_cast<int>(machines.size()))
+        << "node deadlocked";
+  }
+};
+
+// --- interrupt-level collectives --------------------------------------------
+
+class KernelSumShapes : public ::testing::TestWithParam<topo::Coord> {};
+
+TEST_P(KernelSumShapes, MatchesUserLevelResult) {
+  World w(GetParam());
+  const int n = static_cast<int>(w.cluster.size());
+  auto prog = [n](qmp::Machine& m) -> Task<> {
+    const double ks = co_await m.sum_double_kernel(1.5 + m.node_number());
+    EXPECT_DOUBLE_EQ(ks, 1.5 * n + n * (n - 1) / 2.0)
+        << "node " << m.node_number();
+    // Back-to-back kernel sums with different values must not mix.
+    const double ks2 = co_await m.sum_double_kernel(2.0);
+    EXPECT_DOUBLE_EQ(ks2, 2.0 * n);
+  };
+  w.run_spmd_qmp(prog);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, KernelSumShapes,
+                         ::testing::Values(topo::Coord{4}, topo::Coord{4, 4},
+                                           topo::Coord{2, 4, 4},
+                                           topo::Coord{4, 8, 8}),
+                         [](const auto& info) {
+                           std::string name;
+                           for (int d = 0; d < info.param.ndims(); ++d) {
+                             if (d) name += "x";
+                             name += std::to_string(info.param[d]);
+                           }
+                           return name;
+                         });
+
+TEST(KernelSum, FasterThanUserLevelGlobalSum) {
+  // The point of the sec. 7 prototype: skipping the user-space hop on
+  // interior nodes cuts the end-to-end latency of a global sum.
+  World w(topo::Coord{4, 8, 8});
+  auto& eng = w.cluster.engine();
+  sim::Time user_done = 0;
+  sim::Time kernel_done = 0;
+  int phase_done = 0;
+  auto prog = [&eng, &user_done, &kernel_done, &phase_done](
+                  qmp::Machine& m) -> Task<> {
+    co_await m.barrier();
+    const sim::Time t0 = eng.now();
+    (void)co_await m.sum_double(1.0);
+    if (++phase_done == 256) user_done = eng.now() - t0;
+    co_await m.barrier();
+    const sim::Time t1 = eng.now();
+    (void)co_await m.sum_double_kernel(1.0);
+    if (++phase_done == 512) kernel_done = eng.now() - t1;
+  };
+  w.run_spmd_qmp(prog);
+  EXPECT_GT(user_done, 0);
+  EXPECT_GT(kernel_done, 0);
+  EXPECT_LT(kernel_done, user_done)
+      << "kernel " << sim::to_us(kernel_done) << "us vs user "
+      << sim::to_us(user_done) << "us";
+}
+
+// --- MPI communicator contexts ----------------------------------------------
+
+TEST(MpiDup, ContextsIsolateTraffic) {
+  World w(topo::Coord{4});
+  auto prog = [](mpi::Comm& world) -> Task<> {
+    mpi::Comm other = world.dup();
+    EXPECT_NE(other.context(), world.context());
+    if (world.rank() == 0) {
+      // Send tag 5 on BOTH communicators; receivers must get their own.
+      co_await other.send(pattern(10, 2), 1, 5);
+      co_await world.send(pattern(20, 1), 1, 5);
+    } else if (world.rank() == 1) {
+      std::vector<std::byte> a;
+      std::vector<std::byte> b;
+      // Receive on world first even though the dup message was sent first.
+      (void)co_await world.recv(a, 0, 5);
+      (void)co_await other.recv(b, 0, 5);
+      EXPECT_EQ(a, pattern(20, 1));
+      EXPECT_EQ(b, pattern(10, 2));
+    }
+    // Collectives on the dup also stay isolated.
+    const double s = co_await other.allreduce_sum(1.0);
+    EXPECT_DOUBLE_EQ(s, 4.0);
+  };
+  w.run_spmd_comm(prog);
+}
+
+TEST(MpiDup, AnyTagStaysInsideContext) {
+  World w(topo::Coord{4});
+  auto prog = [](mpi::Comm& world) -> Task<> {
+    mpi::Comm other = world.dup();
+    if (world.rank() == 0) {
+      co_await other.send(pattern(8, 9), 1, 3);  // arrives first
+      co_await world.send(pattern(8, 7), 1, 4);
+    } else if (world.rank() == 1) {
+      std::vector<std::byte> got;
+      auto st = co_await world.recv(got, mpi::kAnySource, mpi::kAnyTag);
+      EXPECT_EQ(st.tag, 4);  // must skip the dup's message
+      EXPECT_EQ(got, pattern(8, 7));
+      (void)co_await other.recv(got, 0, 3);
+    }
+  };
+  w.run_spmd_comm(prog);
+}
+
+// --- allgather ----------------------------------------------------------------
+
+TEST(MpiAllgather, EveryoneGetsAllChunks) {
+  World w(topo::Coord{2, 4});
+  auto prog = [](mpi::Comm& c) -> Task<> {
+    auto all = co_await c.allgather(
+        pattern(16 + static_cast<std::size_t>(c.rank()),
+                static_cast<std::uint8_t>(c.rank())));
+    EXPECT_EQ(all.size(), static_cast<std::size_t>(c.size()));
+    for (int r = 0; r < c.size(); ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)],
+                pattern(16 + static_cast<std::size_t>(r),
+                        static_cast<std::uint8_t>(r)))
+          << "chunk " << r << " at rank " << c.rank();
+    }
+  };
+  w.run_spmd_comm(prog);
+}
+
+// --- probe ---------------------------------------------------------------------
+
+TEST(MpiProbe, ReportsEnvelopeWithoutConsuming) {
+  World w(topo::Coord{4});
+  auto prog = [](mpi::Comm& c) -> Task<> {
+    if (c.rank() == 0) {
+      co_await c.send(pattern(77), 1, 9);
+    } else if (c.rank() == 1) {
+      auto st = co_await c.probe(mpi::kAnySource, mpi::kAnyTag);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 9);
+      EXPECT_EQ(st.count, 77);
+      // Probing twice is idempotent.
+      auto st2 = co_await c.probe(0, 9);
+      EXPECT_EQ(st2.count, 77);
+      std::vector<std::byte> got;
+      (void)co_await c.recv(got, st.source, st.tag);
+      EXPECT_EQ(got, pattern(77));
+      // Now nothing is probeable.
+      EXPECT_FALSE(c.iprobe(mpi::kAnySource, mpi::kAnyTag).has_value());
+    }
+  };
+  w.run_spmd_comm(prog);
+}
+
+TEST(MpiProbe, ProbeSeesRendezvousAnnouncements) {
+  World w(topo::Coord{4});
+  auto prog = [](mpi::Comm& c) -> Task<> {
+    if (c.rank() == 0) {
+      co_await c.send(pattern(100'000), 1, 2);  // rendezvous-sized
+    } else if (c.rank() == 1) {
+      auto st = co_await c.probe(0, 2);
+      EXPECT_EQ(st.count, 100'000);  // size known from the RTS
+      std::vector<std::byte> got;
+      (void)co_await c.recv(got, 0, 2);
+      EXPECT_EQ(got.size(), 100'000u);
+    }
+  };
+  w.run_spmd_comm(prog);
+}
+
+// --- determinism ------------------------------------------------------------
+
+sim::Time run_workload_once() {
+  World w(topo::Coord{2, 4});
+  sim::Time last = 0;
+  auto prog = [](mpi::Comm& c, sim::Engine& eng, sim::Time& out) -> Task<> {
+    for (int i = 0; i < 3; ++i) {
+      const int peer = (c.rank() + 1 + i) % c.size();
+      std::vector<std::byte> in;
+      (void)co_await c.sendrecv(pattern(500 + i * 37), peer, i, in,
+                                mpi::kAnySource, i);
+      (void)co_await c.allreduce_sum(double(i));
+    }
+    out = eng.now();
+  };
+  auto wrapper = [](decltype(prog) p, mpi::Comm& c, sim::Engine& e,
+                    sim::Time& out) -> Task<> { co_await p(c, e, out); };
+  for (auto& c : w.comms) {
+    wrapper(prog, *c, w.cluster.engine(), last).detach();
+  }
+  w.cluster.run();
+  return last;
+}
+
+TEST(Determinism, IdenticalRunsProduceIdenticalTimings) {
+  const sim::Time a = run_workload_once();
+  const sim::Time b = run_workload_once();
+  EXPECT_GT(a, 0);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace

@@ -1,0 +1,355 @@
+// Tests for the LQCD kernel: SU(3) algebra identities, gamma-matrix algebra,
+// Wilson dslash properties, and the cluster benchmark model (GigE vs
+// Myrinet).
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "lqcd/app.hpp"
+#include "lqcd/even_odd.hpp"
+#include "lqcd/dslash.hpp"
+#include "lqcd/lattice.hpp"
+#include "lqcd/su3.hpp"
+
+namespace {
+
+using namespace meshmp;
+using namespace meshmp::lqcd;
+
+constexpr double kEps = 1e-12;
+
+TEST(Su3, RandomMatricesAreSpecialUnitary) {
+  sim::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const Su3Matrix u = random_su3(rng);
+    EXPECT_LT(u.unitarity_error(), 1e-12);
+    EXPECT_NEAR(std::abs(u.det() - Complex{1.0}), 0.0, 1e-12);
+  }
+}
+
+TEST(Su3, AdjointInvertsUnitary) {
+  sim::Rng rng(6);
+  const Su3Matrix u = random_su3(rng);
+  const Su3Matrix p = u * u.adjoint();
+  EXPECT_LT(p.unitarity_error(), 1e-12);  // p itself must be ~identity
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      const Complex expect = r == c ? Complex{1.0} : Complex{0.0};
+      EXPECT_NEAR(std::abs(p.at(r, c) - expect), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Su3, MatVecLinearity) {
+  sim::Rng rng(7);
+  const Su3Matrix u = random_su3(rng);
+  ColorVector a;
+  ColorVector b;
+  for (int i = 0; i < 3; ++i) {
+    a[i] = Complex{rng.uniform01(), rng.uniform01()};
+    b[i] = Complex{rng.uniform01(), rng.uniform01()};
+  }
+  const Complex s{0.3, -1.7};
+  const ColorVector lhs = u * (a + s * b);
+  const ColorVector rhs = (u * a) + s * (u * b);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(std::abs(lhs[i] - rhs[i]), 0.0, kEps);
+  }
+}
+
+TEST(Su3, UnitaryPreservesNorm) {
+  sim::Rng rng(8);
+  const Su3Matrix u = random_su3(rng);
+  ColorVector v;
+  for (int i = 0; i < 3; ++i) v[i] = Complex{rng.uniform01(), -rng.uniform01()};
+  EXPECT_NEAR((u * v).norm2(), v.norm2(), 1e-10);
+}
+
+// --- gamma algebra ----------------------------------------------------------
+
+WilsonSpinor random_spinor(sim::Rng& rng) {
+  WilsonSpinor s;
+  for (int sp = 0; sp < 4; ++sp) {
+    for (int c = 0; c < 3; ++c) {
+      s[sp][c] = Complex{rng.uniform01() * 2 - 1, rng.uniform01() * 2 - 1};
+    }
+  }
+  return s;
+}
+
+double spinor_dist(const WilsonSpinor& a, const WilsonSpinor& b) {
+  double d = 0;
+  for (int sp = 0; sp < 4; ++sp) {
+    for (int c = 0; c < 3; ++c) d += std::norm(a[sp][c] - b[sp][c]);
+  }
+  return d;
+}
+
+TEST(Gamma, SquaresToIdentity) {
+  sim::Rng rng(9);
+  for (int mu = 0; mu < 4; ++mu) {
+    const WilsonSpinor psi = random_spinor(rng);
+    const WilsonSpinor g2 = apply_gamma(mu, apply_gamma(mu, psi));
+    EXPECT_LT(spinor_dist(g2, psi), kEps) << "mu=" << mu;
+  }
+}
+
+TEST(Gamma, Anticommute) {
+  sim::Rng rng(10);
+  for (int mu = 0; mu < 4; ++mu) {
+    for (int nu = mu + 1; nu < 4; ++nu) {
+      const WilsonSpinor psi = random_spinor(rng);
+      WilsonSpinor lhs = apply_gamma(mu, apply_gamma(nu, psi));
+      const WilsonSpinor rhs = apply_gamma(nu, apply_gamma(mu, psi));
+      lhs += rhs;  // {gmu, gnu} psi must vanish
+      double n = 0;
+      for (int sp = 0; sp < 4; ++sp) n += lhs[sp].norm2();
+      EXPECT_LT(n, kEps) << "mu=" << mu << " nu=" << nu;
+    }
+  }
+}
+
+TEST(Gamma, Gamma5AnticommutesWithAll) {
+  sim::Rng rng(11);
+  for (int mu = 0; mu < 4; ++mu) {
+    const WilsonSpinor psi = random_spinor(rng);
+    WilsonSpinor lhs = apply_gamma5(apply_gamma(mu, psi));
+    const WilsonSpinor rhs = apply_gamma(mu, apply_gamma5(psi));
+    lhs += rhs;
+    double n = 0;
+    for (int sp = 0; sp < 4; ++sp) n += lhs[sp].norm2();
+    EXPECT_LT(n, kEps) << "mu=" << mu;
+  }
+}
+
+// --- lattice ----------------------------------------------------------------
+
+TEST(Lattice, IndexRoundTripAndNeighbors) {
+  const Lattice4D lat({4, 4, 4, 8});
+  EXPECT_EQ(lat.volume(), 512);
+  for (Lattice4D::Site s = 0; s < lat.volume(); s += 7) {
+    EXPECT_EQ(lat.index(lat.coords(s)), s);
+    for (int mu = 0; mu < 4; ++mu) {
+      EXPECT_EQ(lat.neighbor(lat.neighbor(s, mu, +1), mu, -1), s);
+    }
+  }
+  // Even/odd checkerboard: neighbours flip parity.
+  for (Lattice4D::Site s = 0; s < lat.volume(); s += 11) {
+    for (int mu = 0; mu < 4; ++mu) {
+      EXPECT_NE(lat.parity(s), lat.parity(lat.neighbor(s, mu, +1)));
+    }
+  }
+}
+
+TEST(Lattice, FaceEnumeration) {
+  const Lattice4D lat({4, 4, 4, 4});
+  for (int mu = 0; mu < 4; ++mu) {
+    const auto f = lat.face(mu, +1);
+    EXPECT_EQ(static_cast<Lattice4D::Site>(f.size()), lat.face_sites(mu));
+    EXPECT_EQ(f.size(), 64u);
+    for (auto s : f) EXPECT_EQ(lat.coords(s)[static_cast<std::size_t>(mu)], 3);
+  }
+}
+
+// --- dslash ------------------------------------------------------------------
+
+TEST(Dslash, FreeFieldConstantSpinorGivesEightPsi) {
+  // With U = 1 and a constant field: D psi = sum_mu [(1-g)+(1+g)] psi = 8 psi.
+  const Lattice4D lat({4, 4, 4, 4});
+  const GaugeField u = unit_gauge(lat);
+  sim::Rng rng(12);
+  const WilsonSpinor c = random_spinor(rng);
+  SpinorField in(static_cast<std::size_t>(lat.volume()), c);
+  const SpinorField out = dslash(lat, u, in);
+  for (const auto& s : out) {
+    WilsonSpinor expect;
+    for (int sp = 0; sp < 4; ++sp) expect[sp] = Complex{8.0} * c[sp];
+    EXPECT_LT(spinor_dist(s, expect), 1e-10);
+  }
+}
+
+TEST(Dslash, LinearInTheField) {
+  const Lattice4D lat({4, 4, 2, 2});
+  sim::Rng rng(13);
+  const GaugeField u = random_gauge(lat, rng);
+  const SpinorField a = random_spinor_field(lat, rng);
+  const SpinorField b = random_spinor_field(lat, rng);
+  const Complex s{0.7, -0.2};
+  SpinorField combo(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (int sp = 0; sp < 4; ++sp) combo[i][sp] = a[i][sp] + s * b[i][sp];
+  }
+  const SpinorField lhs = dslash(lat, u, combo);
+  const SpinorField da = dslash(lat, u, a);
+  const SpinorField db = dslash(lat, u, b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    WilsonSpinor expect;
+    for (int sp = 0; sp < 4; ++sp) expect[sp] = da[i][sp] + s * db[i][sp];
+    EXPECT_LT(spinor_dist(lhs[i], expect), 1e-18 * 1e6);
+  }
+}
+
+TEST(Dslash, DaggerIsTheAdjoint) {
+  // <chi, D psi> == <D^dag chi, psi> for random fields and gauge.
+  const Lattice4D lat({4, 2, 2, 4});
+  sim::Rng rng(14);
+  const GaugeField u = random_gauge(lat, rng);
+  const SpinorField psi = random_spinor_field(lat, rng);
+  const SpinorField chi = random_spinor_field(lat, rng);
+  const Complex lhs = inner_product(chi, dslash(lat, u, psi));
+  const Complex rhs = inner_product(dslash_dagger(lat, u, chi), psi);
+  EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-9 * std::abs(lhs));
+}
+
+TEST(Dslash, Gamma5Hermiticity) {
+  // g5 D g5 == D^dag, the fundamental Wilson property.
+  const Lattice4D lat({2, 4, 2, 4});
+  sim::Rng rng(15);
+  const GaugeField u = random_gauge(lat, rng);
+  const SpinorField psi = random_spinor_field(lat, rng);
+  SpinorField g5psi(psi.size());
+  for (std::size_t i = 0; i < psi.size(); ++i) g5psi[i] = apply_gamma5(psi[i]);
+  SpinorField lhs = dslash(lat, u, g5psi);
+  for (auto& s : lhs) s = apply_gamma5(s);
+  const SpinorField rhs = dslash_dagger(lat, u, psi);
+  double dist = 0;
+  for (std::size_t i = 0; i < psi.size(); ++i) {
+    dist += spinor_dist(lhs[i], rhs[i]);
+  }
+  EXPECT_LT(dist, 1e-16 * static_cast<double>(psi.size()));
+}
+
+TEST(Dslash, GaugeCovariantNormUnderUnitGaugeShift) {
+  // Translation invariance in the free field: shifting the input shifts the
+  // output.
+  const Lattice4D lat({4, 4, 2, 2});
+  sim::Rng rng(16);
+  const GaugeField u = unit_gauge(lat);
+  const SpinorField psi = random_spinor_field(lat, rng);
+  SpinorField shifted(psi.size());
+  for (Lattice4D::Site s = 0; s < lat.volume(); ++s) {
+    shifted[static_cast<std::size_t>(lat.neighbor(s, 0, +1))] =
+        psi[static_cast<std::size_t>(s)];
+  }
+  const SpinorField a = dslash(lat, u, shifted);
+  const SpinorField b = dslash(lat, u, psi);
+  for (Lattice4D::Site s = 0; s < lat.volume(); ++s) {
+    EXPECT_LT(spinor_dist(a[static_cast<std::size_t>(lat.neighbor(s, 0, +1))],
+                          b[static_cast<std::size_t>(s)]),
+              1e-18 * 1e6);
+  }
+}
+
+// --- cluster benchmark model ---------------------------------------------------
+
+// --- even-odd preconditioning ------------------------------------------------
+
+TEST(EvenOdd, SplitJoinRoundTrip) {
+  const Lattice4D lat({4, 4, 2, 2});
+  const EvenOddLayout layout(lat);
+  EXPECT_EQ(layout.half_volume(), lat.volume() / 2);
+  sim::Rng rng(21);
+  const SpinorField f = random_spinor_field(lat, rng);
+  auto [even, odd] = layout.split(f);
+  const SpinorField back = layout.join(even, odd);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_LT(spinor_dist(back[i], f[i]), 1e-30);
+  }
+}
+
+TEST(EvenOdd, ParityHopsMatchFullDslash) {
+  // The full dslash of a field that lives only on odd sites must equal
+  // D_eo applied to its odd half (on the even sites), and vice versa.
+  const Lattice4D lat({4, 2, 4, 2});
+  const EvenOddLayout layout(lat);
+  sim::Rng rng(22);
+  const GaugeField u = random_gauge(lat, rng);
+  const SpinorField f = random_spinor_field(lat, rng);
+  auto [even, odd] = layout.split(f);
+
+  SpinorField odd_only = layout.join(SpinorField(even.size()), odd);
+  const SpinorField full = dslash(lat, u, odd_only);
+  auto [full_even, full_odd] = layout.split(full);
+  const SpinorField deo = dslash_parity(lat, layout, u, odd, 0);
+  double dist = 0;
+  for (std::size_t i = 0; i < deo.size(); ++i) {
+    dist += spinor_dist(deo[i], full_even[i]);
+  }
+  EXPECT_LT(dist, 1e-20 * static_cast<double>(deo.size()));
+  // The full dslash never couples odd->odd (pure hopping term).
+  double odd_norm = 0;
+  for (const auto& sp : full_odd) odd_norm += sp.norm2();
+  EXPECT_LT(odd_norm, 1e-24);
+}
+
+TEST(EvenOdd, SchurOperatorMatchesBlockElimination) {
+  const Lattice4D lat({2, 4, 2, 4});
+  const EvenOddLayout layout(lat);
+  sim::Rng rng(23);
+  const GaugeField u = random_gauge(lat, rng);
+  const SpinorField f = random_spinor_field(lat, rng);
+  auto [even, odd] = layout.split(f);
+  const double m = 3.7;
+
+  // Direct: (m^2 - D_eo D_oe) even
+  const SpinorField direct = schur_even(lat, layout, u, even, m);
+  // Via parity hops done by hand.
+  const SpinorField doe = dslash_parity(lat, layout, u, even, 1);
+  const SpinorField deodoe = dslash_parity(lat, layout, u, doe, 0);
+  double dist = 0;
+  for (std::size_t i = 0; i < even.size(); ++i) {
+    WilsonSpinor expect;
+    for (int s = 0; s < 4; ++s) {
+      expect[s] = Complex{m * m} * even[i][s] - deodoe[i][s];
+    }
+    dist += spinor_dist(direct[i], expect);
+  }
+  EXPECT_LT(dist, 1e-20 * static_cast<double>(even.size()));
+}
+
+TEST(LqcdApp, GigeRunProducesSaneNumbers) {
+  DslashRunConfig cfg;
+  cfg.local_extent = 6;
+  cfg.iterations = 3;
+  const auto res = lqcd::run_dslash_gige(topo::Coord{2, 4, 4}, cfg);
+  EXPECT_GT(res.seconds, 0);
+  EXPECT_GT(res.mflops_per_node, 50);
+  EXPECT_LT(res.mflops_per_node, 1400);  // bounded by the CPU model
+  EXPECT_GT(res.comm_fraction, 0.0);
+  EXPECT_LT(res.comm_fraction, 1.0);
+}
+
+TEST(LqcdApp, MyrinetRunProducesSaneNumbers) {
+  DslashRunConfig cfg;
+  cfg.local_extent = 6;
+  cfg.iterations = 3;
+  const auto res = lqcd::run_dslash_myrinet(64, cfg);
+  EXPECT_GT(res.seconds, 0);
+  EXPECT_GT(res.mflops_per_node, 50);
+  EXPECT_LT(res.mflops_per_node, 1050);
+}
+
+TEST(LqcdApp, SurfaceToVolumeTrend) {
+  // Larger local lattices must raise sustained per-node Mflops on the GigE
+  // mesh (paper: "gradual increase of GigE performance with respect to the
+  // lattice size").
+  DslashRunConfig small;
+  small.local_extent = 4;
+  small.iterations = 3;
+  DslashRunConfig large = small;
+  large.local_extent = 10;
+  const auto rs = lqcd::run_dslash_gige(topo::Coord{2, 4, 4}, small);
+  const auto rl = lqcd::run_dslash_gige(topo::Coord{2, 4, 4}, large);
+  EXPECT_GT(rl.mflops_per_node, rs.mflops_per_node);
+  EXPECT_LT(rl.comm_fraction, rs.comm_fraction);
+}
+
+TEST(LqcdApp, CostModel) {
+  const hw::CostParams costs;
+  EXPECT_NEAR(costs.gige_node_usd(), 1100 + 420, 1e-9);
+  EXPECT_NEAR(costs.myrinet_node_usd(), 1100 + 1000, 1e-9);
+  EXPECT_NEAR(lqcd::usd_per_mflops(500, 1520), 3.04, 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+// Tests for the Myrinet switched-cluster model: GM-like transport semantics,
+// fragmentation over the 4 KiB GM MTU, recursive-doubling allreduce, the
+// crossbar's non-interference, latency sanity, and TaskGroup error handling.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "cluster/myrinet.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace {
+
+using namespace meshmp;
+using namespace meshmp::sim::literals;
+using cluster::GmMessage;
+using cluster::MyrinetCluster;
+using cluster::MyrinetConfig;
+using sim::Task;
+
+std::vector<std::byte> pattern(std::size_t n, std::uint8_t seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((seed + i * 17) & 0xff);
+  }
+  return v;
+}
+
+TEST(Myrinet, SmallMessageRoundTrip) {
+  MyrinetConfig cfg;
+  cfg.nodes = 4;
+  MyrinetCluster c(cfg);
+  bool ok = false;
+  auto receiver = [](cluster::GmPort& p, bool& flag) -> Task<> {
+    GmMessage m = co_await p.recv(0, 5);
+    flag = m.data == pattern(300) && m.src == 0 && m.tag == 5;
+  };
+  auto sender = [](cluster::GmPort& p) -> Task<> {
+    co_await p.send(3, 5, pattern(300));
+  };
+  receiver(c.port(3), ok).detach();
+  sender(c.port(0)).detach();
+  c.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(Myrinet, LargeMessageFragmentsOverGmMtu) {
+  MyrinetConfig cfg;
+  cfg.nodes = 4;
+  MyrinetCluster c(cfg);
+  const std::size_t n = 50'000;  // 13 fragments at 4096
+  bool ok = false;
+  auto receiver = [](cluster::GmPort& p, std::size_t sz, bool& flag)
+      -> Task<> {
+    GmMessage m = co_await p.recv(-1, -1);
+    flag = m.data == pattern(sz, 9);
+  };
+  auto sender = [](cluster::GmPort& p, std::size_t sz) -> Task<> {
+    co_await p.send(1, 1, pattern(sz, 9));
+  };
+  receiver(c.port(1), n, ok).detach();
+  sender(c.port(0), n).detach();
+  c.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(Myrinet, LatencyWellBelowGigE) {
+  // The whole point of the comparison cluster: user-level polled transport
+  // through an ideal crossbar lands in single-digit microseconds.
+  MyrinetConfig cfg;
+  cfg.nodes = 4;
+  MyrinetCluster c(cfg);
+  sim::Time t1 = 0;
+  auto pong = [](cluster::GmPort& p) -> Task<> {
+    GmMessage m = co_await p.recv(0, 1);
+    co_await p.send(0, 1, std::move(m.data));
+  };
+  auto ping = [](cluster::GmPort& p, sim::Engine& eng,
+                 sim::Time& end) -> Task<> {
+    co_await p.send(1, 1, pattern(64));
+    (void)co_await p.recv(1, 1);
+    end = eng.now();
+  };
+  pong(c.port(1)).detach();
+  ping(c.port(0), c.engine(), t1).detach();
+  c.run();
+  const double rtt2 = sim::to_us(t1) / 2.0;
+  EXPECT_LT(rtt2, 10.0);
+  EXPECT_GT(rtt2, 1.0);
+}
+
+TEST(Myrinet, AllreduceSumsAcrossPowerOfTwo) {
+  MyrinetConfig cfg;
+  cfg.nodes = 16;
+  MyrinetCluster c(cfg);
+  int oks = 0;
+  auto node = [](cluster::GmPort& p, int& count) -> Task<> {
+    const double s = co_await p.allreduce_sum(1.0 + p.rank());
+    if (s == 16.0 + 120.0) ++count;  // n + sum(0..15)
+  };
+  for (int r = 0; r < 16; ++r) node(c.port(r), oks).detach();
+  c.run();
+  EXPECT_EQ(oks, 16);
+}
+
+TEST(Myrinet, AllreduceRejectsNonPowerOfTwo) {
+  MyrinetConfig cfg;
+  cfg.nodes = 6;
+  MyrinetCluster c(cfg);
+  bool threw = false;
+  auto node = [](cluster::GmPort& p, bool& flag) -> Task<> {
+    try {
+      (void)co_await p.allreduce_sum(1.0);
+    } catch (const std::invalid_argument&) {
+      flag = true;
+    }
+  };
+  node(c.port(0), threw).detach();
+  c.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Myrinet, CrossFlowsDoNotInterfere) {
+  // Two disjoint pairs stream simultaneously; the full-bisection crossbar
+  // must give both the same completion time as a single pair alone.
+  auto run_pairs = [](int npairs) {
+    MyrinetConfig cfg;
+    cfg.nodes = 8;
+    MyrinetCluster c(cfg);
+    sim::Time end = 0;
+    int done = 0;
+    auto rx = [](cluster::GmPort& p, int src, sim::Engine& eng, int total,
+                 int& fin, sim::Time& out) -> Task<> {
+      for (int i = 0; i < 20; ++i) (void)co_await p.recv(src, 1);
+      if (++fin == total) out = eng.now();
+    };
+    auto tx = [](cluster::GmPort& p, int dst) -> Task<> {
+      for (int i = 0; i < 20; ++i) co_await p.send(dst, 1, pattern(4000));
+    };
+    for (int k = 0; k < npairs; ++k) {
+      rx(c.port(2 * k + 1), 2 * k, c.engine(), npairs, done, end).detach();
+      tx(c.port(2 * k), 2 * k + 1).detach();
+    }
+    c.run();
+    return end;
+  };
+  const sim::Time one = run_pairs(1);
+  const sim::Time four = run_pairs(4);
+  EXPECT_EQ(one, four);
+}
+
+// --- TaskGroup error propagation (sim utility used across the stack) --------
+
+Task<> failing_task(sim::Engine& eng) {
+  co_await sim::delay(eng, 10_ns);
+  throw std::runtime_error("subtask failed");
+}
+
+Task<> fine_task(sim::Engine& eng, int& done) {
+  co_await sim::delay(eng, 20_ns);
+  ++done;
+}
+
+TEST(TaskGroup, JoinRethrowsFirstError) {
+  sim::Engine eng;
+  int done = 0;
+  bool caught = false;
+  auto runner = [](sim::Engine& e, int& d, bool& c) -> Task<> {
+    sim::TaskGroup group(e);
+    group.add(fine_task(e, d));
+    group.add(failing_task(e));
+    group.add(fine_task(e, d));
+    try {
+      co_await group.join();
+    } catch (const std::runtime_error&) {
+      c = true;
+    }
+  };
+  runner(eng, done, caught).detach();
+  eng.run();
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(done, 2);  // healthy siblings still completed
+}
+
+TEST(TaskGroup, EmptyJoinIsImmediate) {
+  sim::Engine eng;
+  bool done = false;
+  auto runner = [](sim::Engine& e, bool& d) -> Task<> {
+    sim::TaskGroup group(e);
+    co_await group.join();
+    d = true;
+  };
+  runner(eng, done).detach();
+  EXPECT_TRUE(done);  // no suspension necessary
+}
+
+}  // namespace

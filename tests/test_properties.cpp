@@ -1,0 +1,257 @@
+// Property-style sweeps across protocol parameters: message sizes straddling
+// every protocol boundary, VIA parameter sweeps (MTU, ack cadence), scatter
+// plan invariants, and a randomized MPI traffic stress test.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cluster/gige_mesh.hpp"
+#include "coll/scatter.hpp"
+#include "mp/endpoint.hpp"
+#include "mpi/mpi.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace meshmp;
+using namespace meshmp::sim::literals;
+using cluster::GigeMeshCluster;
+using cluster::GigeMeshConfig;
+using sim::Task;
+
+std::vector<std::byte> pattern(std::size_t n, std::uint32_t seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((seed * 97 + i * 131) & 0xff);
+  }
+  return v;
+}
+
+// --- protocol-boundary message sizes ----------------------------------------
+
+class BoundarySizes : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BoundarySizes, RoundTripsBitExact) {
+  const auto size = static_cast<std::size_t>(GetParam());
+  GigeMeshConfig cfg;
+  cfg.shape = topo::Coord{4};
+  GigeMeshCluster c(cfg);
+  mp::Endpoint e0(c.agent(0), mp::CoreParams{});
+  mp::Endpoint e1(c.agent(1), mp::CoreParams{});
+  bool ok = false;
+  auto receiver = [](mp::Endpoint& ep, std::size_t n, bool& flag) -> Task<> {
+    mp::Message m = co_await ep.recv(0, 1);
+    flag = m.data == pattern(n, static_cast<std::uint32_t>(n));
+    co_await ep.send(0, 2, std::move(m.data));
+  };
+  auto sender = [](mp::Endpoint& ep, std::size_t n) -> Task<> {
+    co_await ep.send(1, 1, pattern(n, static_cast<std::uint32_t>(n)));
+    mp::Message back = co_await ep.recv(1, 2);
+    EXPECT_EQ(back.data.size(), n);
+  };
+  receiver(e1, size, ok).detach();
+  sender(e0, size).detach();
+  c.run();
+  EXPECT_TRUE(ok) << "size " << size;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BoundarySizes,
+    ::testing::Values(
+        // around one MTU payload (1472)
+        1471, 1472, 1473,
+        // around the eager/rendezvous threshold (16 KiB)
+        16383, 16384, 16385,
+        // around fragment-count boundaries of the rendezvous path
+        2 * 1472, 11 * 1472 + 1,
+        // degenerate
+        0, 1),
+    [](const auto& info) { return "b" + std::to_string(info.param); });
+
+// --- VIA parameter sweeps -----------------------------------------------------
+
+class MtuSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(MtuSweep, FragmentationIsSizeAgnostic) {
+  GigeMeshConfig cfg;
+  cfg.shape = topo::Coord{4};
+  cfg.via.mtu_payload = GetParam();
+  GigeMeshCluster c(cfg);
+  mp::Endpoint e0(c.agent(0), mp::CoreParams{});
+  mp::Endpoint e1(c.agent(1), mp::CoreParams{});
+  bool ok = false;
+  auto receiver = [](mp::Endpoint& ep, bool& flag) -> Task<> {
+    mp::Message m = co_await ep.recv(0, 1);
+    flag = m.data == pattern(10'000, 3);
+  };
+  auto sender = [](mp::Endpoint& ep) -> Task<> {
+    co_await ep.send(1, 1, pattern(10'000, 3));
+  };
+  receiver(e1, ok).detach();
+  sender(e0).detach();
+  c.run();
+  EXPECT_TRUE(ok) << "mtu " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Mtus, MtuSweep,
+                         ::testing::Values(256, 512, 1472, 4096, 9000),
+                         [](const auto& info) {
+                           return "mtu" + std::to_string(info.param);
+                         });
+
+class AckEverySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AckEverySweep, ReliableStreamSurvivesLoss) {
+  GigeMeshConfig cfg;
+  cfg.shape = topo::Coord{4};
+  cfg.via.ack_every = GetParam();
+  cfg.via.retx_timeout = 2_ms;
+  cfg.link.drop_prob = 0.03;
+  GigeMeshCluster c(cfg);
+  mp::Endpoint e0(c.agent(0), mp::CoreParams{});
+  mp::Endpoint e1(c.agent(1), mp::CoreParams{});
+  int got = 0;
+  auto receiver = [](mp::Endpoint& ep, int n, int& cnt) -> Task<> {
+    for (int i = 0; i < n; ++i) {
+      mp::Message m = co_await ep.recv(0, 1);
+      EXPECT_EQ(m.data, pattern(3000, static_cast<std::uint32_t>(i)));
+      ++cnt;
+    }
+  };
+  auto sender = [](mp::Endpoint& ep, int n) -> Task<> {
+    for (int i = 0; i < n; ++i) {
+      co_await ep.send(1, 1, pattern(3000, static_cast<std::uint32_t>(i)));
+    }
+  };
+  receiver(e1, 25, got).detach();
+  sender(e0, 25).detach();
+  c.engine().run_until(10_s);
+  EXPECT_EQ(got, 25) << "ack_every " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Cadence, AckEverySweep, ::testing::Values(1, 4, 16),
+                         [](const auto& info) {
+                           return "every" + std::to_string(info.param);
+                         });
+
+// --- scatter plan invariants ---------------------------------------------------
+
+class PlanSweep
+    : public ::testing::TestWithParam<std::pair<topo::Coord, coll::ScatterAlg>> {
+};
+
+TEST_P(PlanSweep, RoutesAreMinimalAndCountsConsistent) {
+  const auto& [shape, alg] = GetParam();
+  const topo::Torus t(shape);
+  for (topo::Rank root : {topo::Rank{0}, t.size() / 2}) {
+    const auto plan = coll::make_scatter_plan(t, root, alg);
+    EXPECT_EQ(plan.emit_order.size(),
+              static_cast<std::size_t>(t.size()) - 1);
+    std::int64_t interior_total = 0;
+    for (topo::Rank d = 0; d < t.size(); ++d) {
+      if (d == root) continue;
+      const auto& route = plan.routes[static_cast<std::size_t>(d)];
+      // Every route is minimal and really ends at d.
+      EXPECT_EQ(static_cast<int>(route.size()), t.distance(root, d));
+      topo::Coord cur = t.coord(root);
+      for (auto dir : route) cur = *t.neighbor(cur, dir);
+      EXPECT_EQ(t.rank(cur), d);
+      interior_total += static_cast<std::int64_t>(route.size()) - 1;
+    }
+    // Forward counts account for exactly the interior hops of all routes.
+    std::int64_t count_total = 0;
+    for (int cnt : plan.forward_count) count_total += cnt;
+    EXPECT_EQ(count_total, interior_total);
+    EXPECT_EQ(plan.forward_count[static_cast<std::size_t>(root)], 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plans, PlanSweep,
+    ::testing::Values(std::pair{topo::Coord{8, 8}, coll::ScatterAlg::kSdf},
+                      std::pair{topo::Coord{8, 8}, coll::ScatterAlg::kOpt},
+                      std::pair{topo::Coord{4, 8, 8},
+                                coll::ScatterAlg::kOpt},
+                      std::pair{topo::Coord{6, 8, 8},
+                                coll::ScatterAlg::kOpt}),
+    [](const auto& info) {
+      std::string name;
+      for (int d = 0; d < info.param.first.ndims(); ++d) {
+        if (d) name += "x";
+        name += std::to_string(info.param.first[d]);
+      }
+      return name +
+             (info.param.second == coll::ScatterAlg::kSdf ? "_sdf" : "_opt");
+    });
+
+// --- randomized traffic stress --------------------------------------------------
+
+TEST(Stress, RandomizedTrafficAllDelivered) {
+  // Every rank sends a random number of random-size messages to random
+  // peers, then receives exactly what it was sent. A seed-deterministic
+  // manifest makes the expected traffic checkable.
+  GigeMeshConfig cfg;
+  cfg.shape = topo::Coord{3, 3};
+  GigeMeshCluster c(cfg);
+  const int n = static_cast<int>(c.size());
+
+  // Build the global manifest deterministically.
+  sim::Rng rng(2026);
+  std::vector<std::vector<std::pair<int, std::uint32_t>>> outgoing(
+      static_cast<std::size_t>(n));  // per src: (dst, size)
+  std::vector<int> expected(static_cast<std::size_t>(n), 0);
+  for (int src = 0; src < n; ++src) {
+    const int count = static_cast<int>(rng.uniform(3, 10));
+    for (int k = 0; k < count; ++k) {
+      int dst = static_cast<int>(rng.uniform(0, n - 1));
+      if (dst == src) dst = (dst + 1) % n;
+      const auto size = static_cast<std::uint32_t>(rng.uniform(1, 40'000));
+      outgoing[static_cast<std::size_t>(src)].emplace_back(dst, size);
+      ++expected[static_cast<std::size_t>(dst)];
+    }
+  }
+
+  std::vector<std::unique_ptr<mp::Endpoint>> eps;
+  for (topo::Rank r = 0; r < c.size(); ++r) {
+    eps.push_back(
+        std::make_unique<mp::Endpoint>(c.agent(r), mp::CoreParams{}));
+  }
+
+  int finished = 0;
+  std::int64_t bytes_received = 0;
+  auto node = [](mp::Endpoint& ep,
+                 std::vector<std::pair<int, std::uint32_t>> sends,
+                 int expect, int& done, std::int64_t& rx_bytes) -> Task<> {
+    sim::TaskGroup group(ep.engine());
+    for (auto [dst, size] : sends) {
+      group.add(ep.send(dst, 7, pattern(size, size)));
+    }
+    for (int i = 0; i < expect; ++i) {
+      mp::Message m = co_await ep.recv(mp::Endpoint::kAny, 7);
+      // Payload must match the sender's generator for its size.
+      EXPECT_EQ(m.data, pattern(m.data.size(),
+                                static_cast<std::uint32_t>(m.data.size())));
+      rx_bytes += static_cast<std::int64_t>(m.data.size());
+    }
+    co_await group.join();
+    ++done;
+  };
+  for (int r = 0; r < n; ++r) {
+    node(*eps[static_cast<std::size_t>(r)],
+         outgoing[static_cast<std::size_t>(r)],
+         expected[static_cast<std::size_t>(r)], finished, bytes_received)
+        .detach();
+  }
+  c.run();
+  EXPECT_EQ(finished, n);
+  std::int64_t bytes_sent = 0;
+  for (const auto& v : outgoing) {
+    for (auto [dst, size] : v) bytes_sent += size;
+  }
+  EXPECT_EQ(bytes_received, bytes_sent);
+}
+
+}  // namespace
