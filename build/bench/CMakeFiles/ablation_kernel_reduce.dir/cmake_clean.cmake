@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kernel_reduce.dir/ablation_kernel_reduce.cpp.o"
+  "CMakeFiles/ablation_kernel_reduce.dir/ablation_kernel_reduce.cpp.o.d"
+  "ablation_kernel_reduce"
+  "ablation_kernel_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kernel_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

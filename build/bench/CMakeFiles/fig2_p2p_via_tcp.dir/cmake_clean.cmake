@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_p2p_via_tcp.dir/fig2_p2p_via_tcp.cpp.o"
+  "CMakeFiles/fig2_p2p_via_tcp.dir/fig2_p2p_via_tcp.cpp.o.d"
+  "fig2_p2p_via_tcp"
+  "fig2_p2p_via_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_p2p_via_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

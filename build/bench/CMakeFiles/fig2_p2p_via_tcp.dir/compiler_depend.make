@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_p2p_via_tcp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_aggregate_bw.dir/fig3_aggregate_bw.cpp.o"
+  "CMakeFiles/fig3_aggregate_bw.dir/fig3_aggregate_bw.cpp.o.d"
+  "fig3_aggregate_bw"
+  "fig3_aggregate_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_aggregate_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

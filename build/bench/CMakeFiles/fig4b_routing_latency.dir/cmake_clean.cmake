@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_routing_latency.dir/fig4b_routing_latency.cpp.o"
+  "CMakeFiles/fig4b_routing_latency.dir/fig4b_routing_latency.cpp.o.d"
+  "fig4b_routing_latency"
+  "fig4b_routing_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_routing_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

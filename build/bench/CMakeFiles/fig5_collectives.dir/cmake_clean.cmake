@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_collectives.dir/fig5_collectives.cpp.o"
+  "CMakeFiles/fig5_collectives.dir/fig5_collectives.cpp.o.d"
+  "fig5_collectives"
+  "fig5_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

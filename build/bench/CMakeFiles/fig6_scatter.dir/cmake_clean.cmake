@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_scatter.dir/fig6_scatter.cpp.o"
+  "CMakeFiles/fig6_scatter.dir/fig6_scatter.cpp.o.d"
+  "fig6_scatter"
+  "fig6_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

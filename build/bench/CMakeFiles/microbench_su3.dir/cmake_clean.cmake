@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_su3.dir/microbench_su3.cpp.o"
+  "CMakeFiles/microbench_su3.dir/microbench_su3.cpp.o.d"
+  "microbench_su3"
+  "microbench_su3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_su3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_lqcd.dir/table1_lqcd.cpp.o"
+  "CMakeFiles/table1_lqcd.dir/table1_lqcd.cpp.o.d"
+  "table1_lqcd"
+  "table1_lqcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_lqcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lqcd_dslash.dir/lqcd_dslash.cpp.o"
+  "CMakeFiles/example_lqcd_dslash.dir/lqcd_dslash.cpp.o.d"
+  "example_lqcd_dslash"
+  "example_lqcd_dslash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lqcd_dslash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

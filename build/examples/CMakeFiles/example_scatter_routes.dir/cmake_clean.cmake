@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scatter_routes.dir/scatter_routes.cpp.o"
+  "CMakeFiles/example_scatter_routes.dir/scatter_routes.cpp.o.d"
+  "example_scatter_routes"
+  "example_scatter_routes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scatter_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

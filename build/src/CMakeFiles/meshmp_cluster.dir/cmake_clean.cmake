@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshmp_cluster.dir/cluster/gige_mesh.cpp.o"
+  "CMakeFiles/meshmp_cluster.dir/cluster/gige_mesh.cpp.o.d"
+  "CMakeFiles/meshmp_cluster.dir/cluster/myrinet.cpp.o"
+  "CMakeFiles/meshmp_cluster.dir/cluster/myrinet.cpp.o.d"
+  "CMakeFiles/meshmp_cluster.dir/cluster/report.cpp.o"
+  "CMakeFiles/meshmp_cluster.dir/cluster/report.cpp.o.d"
+  "libmeshmp_cluster.a"
+  "libmeshmp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshmp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

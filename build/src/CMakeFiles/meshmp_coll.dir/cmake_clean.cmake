@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshmp_coll.dir/coll/scatter.cpp.o"
+  "CMakeFiles/meshmp_coll.dir/coll/scatter.cpp.o.d"
+  "CMakeFiles/meshmp_coll.dir/coll/tree.cpp.o"
+  "CMakeFiles/meshmp_coll.dir/coll/tree.cpp.o.d"
+  "libmeshmp_coll.a"
+  "libmeshmp_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshmp_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

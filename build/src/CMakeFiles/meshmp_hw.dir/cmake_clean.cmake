@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshmp_hw.dir/hw/nic.cpp.o"
+  "CMakeFiles/meshmp_hw.dir/hw/nic.cpp.o.d"
+  "libmeshmp_hw.a"
+  "libmeshmp_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshmp_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

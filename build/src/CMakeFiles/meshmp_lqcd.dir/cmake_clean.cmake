@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshmp_lqcd.dir/lqcd/app.cpp.o"
+  "CMakeFiles/meshmp_lqcd.dir/lqcd/app.cpp.o.d"
+  "CMakeFiles/meshmp_lqcd.dir/lqcd/dslash.cpp.o"
+  "CMakeFiles/meshmp_lqcd.dir/lqcd/dslash.cpp.o.d"
+  "CMakeFiles/meshmp_lqcd.dir/lqcd/even_odd.cpp.o"
+  "CMakeFiles/meshmp_lqcd.dir/lqcd/even_odd.cpp.o.d"
+  "CMakeFiles/meshmp_lqcd.dir/lqcd/su3.cpp.o"
+  "CMakeFiles/meshmp_lqcd.dir/lqcd/su3.cpp.o.d"
+  "libmeshmp_lqcd.a"
+  "libmeshmp_lqcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshmp_lqcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmeshmp_lqcd.a"
+)

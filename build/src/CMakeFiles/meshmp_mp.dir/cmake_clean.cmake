@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshmp_mp.dir/mp/endpoint.cpp.o"
+  "CMakeFiles/meshmp_mp.dir/mp/endpoint.cpp.o.d"
+  "libmeshmp_mp.a"
+  "libmeshmp_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshmp_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

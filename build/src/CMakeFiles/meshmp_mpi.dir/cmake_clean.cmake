@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshmp_mpi.dir/mpi/mpi.cpp.o"
+  "CMakeFiles/meshmp_mpi.dir/mpi/mpi.cpp.o.d"
+  "libmeshmp_mpi.a"
+  "libmeshmp_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshmp_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

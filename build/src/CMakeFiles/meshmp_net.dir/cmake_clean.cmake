@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshmp_net.dir/net/crossbar.cpp.o"
+  "CMakeFiles/meshmp_net.dir/net/crossbar.cpp.o.d"
+  "CMakeFiles/meshmp_net.dir/net/frame.cpp.o"
+  "CMakeFiles/meshmp_net.dir/net/frame.cpp.o.d"
+  "CMakeFiles/meshmp_net.dir/net/link.cpp.o"
+  "CMakeFiles/meshmp_net.dir/net/link.cpp.o.d"
+  "libmeshmp_net.a"
+  "libmeshmp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshmp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

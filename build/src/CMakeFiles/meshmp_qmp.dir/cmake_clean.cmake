@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshmp_qmp.dir/qmp/qmp.cpp.o"
+  "CMakeFiles/meshmp_qmp.dir/qmp/qmp.cpp.o.d"
+  "libmeshmp_qmp.a"
+  "libmeshmp_qmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshmp_qmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for meshmp_qmp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshmp_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/meshmp_sim.dir/sim/engine.cpp.o.d"
+  "libmeshmp_sim.a"
+  "libmeshmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshmp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

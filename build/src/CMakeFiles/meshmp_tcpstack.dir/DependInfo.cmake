@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcpstack/socket.cpp" "src/CMakeFiles/meshmp_tcpstack.dir/tcpstack/socket.cpp.o" "gcc" "src/CMakeFiles/meshmp_tcpstack.dir/tcpstack/socket.cpp.o.d"
+  "/root/repo/src/tcpstack/stack.cpp" "src/CMakeFiles/meshmp_tcpstack.dir/tcpstack/stack.cpp.o" "gcc" "src/CMakeFiles/meshmp_tcpstack.dir/tcpstack/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/meshmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meshmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meshmp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meshmp_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

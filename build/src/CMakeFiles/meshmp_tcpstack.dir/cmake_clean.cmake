@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshmp_tcpstack.dir/tcpstack/socket.cpp.o"
+  "CMakeFiles/meshmp_tcpstack.dir/tcpstack/socket.cpp.o.d"
+  "CMakeFiles/meshmp_tcpstack.dir/tcpstack/stack.cpp.o"
+  "CMakeFiles/meshmp_tcpstack.dir/tcpstack/stack.cpp.o.d"
+  "libmeshmp_tcpstack.a"
+  "libmeshmp_tcpstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshmp_tcpstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

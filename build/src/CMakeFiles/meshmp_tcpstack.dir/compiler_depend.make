@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for meshmp_tcpstack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/partition.cpp" "src/CMakeFiles/meshmp_topo.dir/topo/partition.cpp.o" "gcc" "src/CMakeFiles/meshmp_topo.dir/topo/partition.cpp.o.d"
+  "/root/repo/src/topo/spanning_tree.cpp" "src/CMakeFiles/meshmp_topo.dir/topo/spanning_tree.cpp.o" "gcc" "src/CMakeFiles/meshmp_topo.dir/topo/spanning_tree.cpp.o.d"
+  "/root/repo/src/topo/torus.cpp" "src/CMakeFiles/meshmp_topo.dir/topo/torus.cpp.o" "gcc" "src/CMakeFiles/meshmp_topo.dir/topo/torus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

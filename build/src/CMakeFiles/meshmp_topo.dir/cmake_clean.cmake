@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshmp_topo.dir/topo/partition.cpp.o"
+  "CMakeFiles/meshmp_topo.dir/topo/partition.cpp.o.d"
+  "CMakeFiles/meshmp_topo.dir/topo/spanning_tree.cpp.o"
+  "CMakeFiles/meshmp_topo.dir/topo/spanning_tree.cpp.o.d"
+  "CMakeFiles/meshmp_topo.dir/topo/torus.cpp.o"
+  "CMakeFiles/meshmp_topo.dir/topo/torus.cpp.o.d"
+  "libmeshmp_topo.a"
+  "libmeshmp_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshmp_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshmp_via.dir/via/agent.cpp.o"
+  "CMakeFiles/meshmp_via.dir/via/agent.cpp.o.d"
+  "CMakeFiles/meshmp_via.dir/via/vi.cpp.o"
+  "CMakeFiles/meshmp_via.dir/via/vi.cpp.o.d"
+  "libmeshmp_via.a"
+  "libmeshmp_via.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshmp_via.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_calibration.cpp" "tests/CMakeFiles/test_calibration.dir/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/test_calibration.dir/test_calibration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meshmp_lqcd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meshmp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meshmp_tcpstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meshmp_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meshmp_qmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meshmp_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meshmp_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meshmp_via.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meshmp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meshmp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meshmp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meshmp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_net.dir/test_hw_net.cpp.o"
+  "CMakeFiles/test_hw_net.dir/test_hw_net.cpp.o.d"
+  "test_hw_net"
+  "test_hw_net.pdb"
+  "test_hw_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

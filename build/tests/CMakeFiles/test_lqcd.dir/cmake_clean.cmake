@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lqcd.dir/test_lqcd.cpp.o"
+  "CMakeFiles/test_lqcd.dir/test_lqcd.cpp.o.d"
+  "test_lqcd"
+  "test_lqcd.pdb"
+  "test_lqcd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lqcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

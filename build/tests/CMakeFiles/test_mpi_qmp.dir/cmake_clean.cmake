@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_qmp.dir/test_mpi_qmp.cpp.o"
+  "CMakeFiles/test_mpi_qmp.dir/test_mpi_qmp.cpp.o.d"
+  "test_mpi_qmp"
+  "test_mpi_qmp.pdb"
+  "test_mpi_qmp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_qmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_myrinet.dir/test_myrinet.cpp.o"
+  "CMakeFiles/test_myrinet.dir/test_myrinet.cpp.o.d"
+  "test_myrinet"
+  "test_myrinet.pdb"
+  "test_myrinet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_myrinet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

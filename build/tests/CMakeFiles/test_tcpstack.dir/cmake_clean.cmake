@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcpstack.dir/test_tcpstack.cpp.o"
+  "CMakeFiles/test_tcpstack.dir/test_tcpstack.cpp.o.d"
+  "test_tcpstack"
+  "test_tcpstack.pdb"
+  "test_tcpstack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcpstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_via.dir/test_via.cpp.o"
+  "CMakeFiles/test_via.dir/test_via.cpp.o.d"
+  "test_via"
+  "test_via.pdb"
+  "test_via[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_via.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_via_modes.dir/test_via_modes.cpp.o"
+  "CMakeFiles/test_via_modes.dir/test_via_modes.cpp.o.d"
+  "test_via_modes"
+  "test_via_modes.pdb"
+  "test_via_modes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_via_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
