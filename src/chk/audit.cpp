@@ -1,0 +1,79 @@
+#include "chk/audit.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace meshmp::chk {
+
+Audit& Audit::instance() {
+  static Audit audit;
+  return audit;
+}
+
+void Audit::Registration::release() noexcept {
+  if (id_ != 0) {
+    Audit::instance().entries_.erase(id_);
+    id_ = 0;
+  }
+}
+
+Audit::Registration Audit::watch(std::string label, Validator validator) {
+  const std::uint64_t id = next_id_++;
+  entries_.emplace(id, Entry{std::move(label), std::move(validator)});
+  return Registration{id};
+}
+
+std::size_t Audit::quiesce() {
+  const std::size_t before = violations_.size();
+  // Validators may not (un)register during the sweep; iterate over a copy of
+  // the ids so object teardown inside a handler cannot invalidate iterators.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) ids.push_back(id);
+  for (std::uint64_t id : ids) {
+    auto it = entries_.find(id);
+    if (it != entries_.end()) it->second.validator();
+  }
+  return violations_.size() - before;
+}
+
+void Audit::fail(std::string label, std::string message) {
+  Violation v{std::move(label), std::move(message)};
+  violations_.push_back(v);
+  if (handler_) {
+    handler_(v);
+    return;
+  }
+  std::fprintf(stderr, "meshmp audit violation [%s]: %s\n", v.label.c_str(),
+               v.message.c_str());
+  std::abort();
+}
+
+Audit::Handler Audit::exchange_handler(Handler h) {
+  Handler old = std::move(handler_);
+  handler_ = std::move(h);
+  return old;
+}
+
+ScopedCapture::ScopedCapture() {
+  Audit::instance().clear_violations();
+  previous_ =
+      Audit::instance().exchange_handler([](const Violation&) { /* record */ });
+}
+
+ScopedCapture::~ScopedCapture() {
+  (void)Audit::instance().exchange_handler(std::move(previous_));
+  Audit::instance().clear_violations();
+}
+
+bool ScopedCapture::caught(std::string_view label_prefix) const {
+  for (const Violation& v : violations()) {
+    if (std::string_view(v.label).substr(0, label_prefix.size()) ==
+        label_prefix) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace meshmp::chk

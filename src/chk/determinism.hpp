@@ -1,0 +1,47 @@
+#pragma once
+
+// Determinism checking.
+//
+// A scenario runs a complete simulation and reports a Fingerprint: the event
+// count, the engine's FNV event digest, and the final simulated time (plus an
+// optional hash of the scenario's own results). `run_twice_and_compare`
+// executes the scenario twice in fresh state and demands byte-identical
+// fingerprints — the machine-checked form of the engine's "two runs of the
+// same program produce identical event orders" contract.
+//
+// This module deliberately knows nothing about the simulator: a Fingerprint
+// is plain integers, so chk stays at the bottom of the dependency order.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace meshmp::chk {
+
+struct Fingerprint {
+  std::uint64_t executed = 0;  ///< events dispatched (Engine::executed())
+  std::uint64_t digest = 0;    ///< FNV event digest (Engine::digest())
+  std::int64_t end_time = 0;   ///< final simulated time in ns
+  std::uint64_t result_hash = 0;  ///< optional: hash of scenario outputs
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+/// Human-readable one-liner, for failure messages.
+std::string describe(const Fingerprint& fp);
+
+struct ReplayResult {
+  Fingerprint first;
+  Fingerprint second;
+  bool identical = false;
+  /// Empty when identical; otherwise names every differing field.
+  std::string divergence;
+};
+
+/// Runs `scenario` twice and compares the fingerprints. The scenario must
+/// build all of its own state (cluster, endpoints, RNG seeds) from scratch on
+/// every call; shared mutable state across calls is exactly the kind of bug
+/// this harness exists to expose.
+ReplayResult run_twice_and_compare(const std::function<Fingerprint()>& scenario);
+
+}  // namespace meshmp::chk

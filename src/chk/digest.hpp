@@ -1,0 +1,46 @@
+#pragma once
+
+// FNV-1a event digesting.
+//
+// The engine folds every dispatched event — (when, seq, label) — into a
+// running 64-bit FNV-1a hash. Two runs of the same program must produce the
+// same digest; any divergence (iteration over pointer-keyed containers,
+// uninitialized reads, wall-clock leakage) changes it with high probability.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace meshmp::chk {
+
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Folds `n` raw bytes into hash `h`.
+inline std::uint64_t fnv1a_bytes(std::uint64_t h, const void* data,
+                                 std::size_t n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Folds a 64-bit value (as its 8 little-endian-in-memory bytes).
+inline std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) noexcept {
+  return fnv1a_bytes(h, &v, sizeof(v));
+}
+
+/// Folds a NUL-terminated string, including a terminator byte so that
+/// ("ab","c") and ("a","bc") hash differently.
+inline std::uint64_t fnv1a_cstr(std::uint64_t h, const char* s) noexcept {
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= kFnvPrime;
+  }
+  h ^= 0xff;
+  h *= kFnvPrime;
+  return h;
+}
+
+}  // namespace meshmp::chk

@@ -21,7 +21,7 @@ class Cpu {
   static constexpr int kUser = sim::Resource::kUserPriority;
 
   Cpu(sim::Engine& eng, HostParams params)
-      : eng_(eng), params_(params), res_(eng, 1) {}
+      : eng_(eng), params_(params), res_(eng, 1, "cpu") {}
   Cpu(const Cpu&) = delete;
   Cpu& operator=(const Cpu&) = delete;
 

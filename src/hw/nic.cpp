@@ -17,10 +17,40 @@ Nic::Nic(Cpu& cpu, sim::Resource& bus, NicParams params, net::LinkParams wire,
       tx_ring_(cpu.engine()),
       tx_space_(cpu.engine()),
       tx_fifo_(cpu.engine()),
-      tx_fifo_slots_(cpu.engine(), 4),
-      rx_ring_(cpu.engine()) {
-  dma_pump().detach();
-  wire_pump().detach();
+      tx_fifo_slots_(cpu.engine(), 4, name_ + ".txfifo"),
+      rx_ring_(cpu.engine()),
+      audit_reg_(chk::Audit::instance().watch("hw.nic." + name_,
+                                              [this] { audit_quiesce(); })) {
+  dma_task_ = dma_pump();
+  wire_task_ = wire_pump();
+}
+
+void Nic::audit_quiesce() const {
+  auto fail = [this](const std::string& msg) {
+    chk::Audit::instance().fail("hw.nic." + name_, msg);
+  };
+  if (tx_queued_ < 0 || tx_queued_ > params_.tx_descriptors) {
+    fail("tx descriptor count " + std::to_string(tx_queued_) +
+         " outside [0, " + std::to_string(params_.tx_descriptors) + "]");
+  } else if (tx_queued_ != 0) {
+    fail(std::to_string(tx_queued_) +
+         " tx descriptor(s) still queued at quiesce");
+  }
+  if (tx_fifo_.size() != 0) {
+    fail(std::to_string(tx_fifo_.size()) +
+         " frame(s) stranded in the adapter FIFO at quiesce");
+  }
+  if (!qdisc_.empty()) {
+    fail(std::to_string(qdisc_.size()) +
+         " frame(s) stranded in the qdisc at quiesce");
+  }
+  if (rx_queued_ < 0 || rx_queued_ > params_.rx_descriptors) {
+    fail("rx descriptor count " + std::to_string(rx_queued_) +
+         " outside [0, " + std::to_string(params_.rx_descriptors) + "]");
+  } else if (rx_queued_ != 0) {
+    fail(std::to_string(rx_queued_) +
+         " rx frame(s) undelivered to the driver at quiesce");
+  }
 }
 
 sim::Duration Nic::wire_time(std::int64_t wire_bytes) const {
@@ -80,6 +110,10 @@ sim::Task<> Nic::dma_pump() {
         sim::Resource::kKernelPriority);
     // Descriptor is done as soon as the data reaches the adapter FIFO.
     --tx_queued_;
+    if (chk::Audit::enabled() && tx_queued_ < 0) {
+      chk::Audit::instance().fail("hw.nic." + name_,
+                                  "tx descriptor count went negative");
+    }
     tx_space_.notify_all();
     counters_.inc("tx_frames");
     tx_fifo_.push(std::move(f));

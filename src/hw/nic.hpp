@@ -17,6 +17,7 @@
 #include <functional>
 #include <string>
 
+#include "chk/audit.hpp"
 #include "hw/cpu.hpp"
 #include "hw/params.hpp"
 #include "net/frame.hpp"
@@ -116,6 +117,9 @@ class Nic {
   sim::Task<> napi_poll();
   sim::Task<> drain_rx(IsrContext& ctx);
   sim::Task<> qdisc_pump();
+  /// Quiesce invariants: rings within bounds and fully drained — no frame
+  /// stranded in a descriptor ring, the adapter FIFO, or the qdisc.
+  void audit_quiesce() const;
 
   Cpu& cpu_;
   sim::Resource& bus_;
@@ -144,6 +148,13 @@ class Nic {
   bool qdisc_running_ = false;
 
   sim::Counters counters_;
+  chk::Audit::Registration audit_reg_;
+
+  // The pump coroutines are owned (not detached) so teardown frees their
+  // frames; they must be the last members, destroyed before anything they
+  // reference.
+  sim::Task<> dma_task_;
+  sim::Task<> wire_task_;
 };
 
 }  // namespace meshmp::hw

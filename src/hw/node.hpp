@@ -21,7 +21,7 @@ class NodeHw {
         cpu_(eng, host),
         // The bus is modelled as a serializing channel: one DMA at a time at
         // full bus rate, so concurrent adapters share its bandwidth.
-        bus_(eng, 1),
+        bus_(eng, 1, "bus"),
         bus_params_(bus) {}
 
   NodeHw(const NodeHw&) = delete;

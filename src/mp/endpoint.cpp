@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace meshmp::mp {
@@ -11,10 +12,37 @@ using hw::Cpu;
 using sim::Task;
 
 Endpoint::Endpoint(via::KernelAgent& agent, CoreParams params)
-    : agent_(agent), params_(params) {
+    : agent_(agent),
+      params_(params),
+      audit_reg_(chk::Audit::instance().watch("mp.endpoint",
+                                              [this] { audit_quiesce(); })) {
   unexpected_arrived_ = std::make_unique<sim::Signal>(engine());
   agent_.listen(params_.service);
-  accept_loop().detach();
+  accept_task_ = accept_loop();
+}
+
+void Endpoint::audit_quiesce() const {
+  const std::string who = "rank " + std::to_string(agent_.node_id()) + ": ";
+  for (const auto& [dst, ch] : out_) {
+    if (ch->vi == nullptr) continue;
+    if (ch->tokens < 0 || ch->tokens > params_.tokens) {
+      chk::Audit::instance().fail(
+          "mp.endpoint", who + "channel to rank " + std::to_string(dst) +
+                             " holds " + std::to_string(ch->tokens) +
+                             " tokens, outside [0, " +
+                             std::to_string(params_.tokens) + "]");
+    }
+  }
+  if (!pending_rndv_.empty()) {
+    chk::Audit::instance().fail(
+        "mp.endpoint", who + std::to_string(pending_rndv_.size()) +
+                           " rendezvous send(s) never matched at quiesce");
+  }
+  if (!rndv_recv_.empty()) {
+    chk::Audit::instance().fail(
+        "mp.endpoint", who + std::to_string(rndv_recv_.size()) +
+                           " rendezvous receive(s) never finished at quiesce");
+  }
 }
 
 std::optional<Endpoint::ProbeResult> Endpoint::iprobe(int src, int tag,
@@ -370,7 +398,7 @@ Task<> Endpoint::accept_loop() {
     }
     InVi* raw = in.get();
     in_[peer].push_back(std::move(in));
-    pump(raw->vi, peer).detach();
+    pump_tasks_.push_back(pump(raw->vi, peer));
     counters_.inc("channels_accepted");
   }
 }

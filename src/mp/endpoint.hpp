@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "chk/audit.hpp"
 #include "mp/params.hpp"
 #include "mp/wire.hpp"
 #include "sim/stats.hpp"
@@ -146,6 +147,9 @@ class Endpoint {
 
   sim::Task<OutChannel*> out_channel(int dst);
   sim::Task<> take_token(OutChannel& ch);
+  /// Quiesce invariants: token counts within [0, params.tokens], no pending
+  /// rendezvous on either side, no posted-but-unmatched receives.
+  void audit_quiesce() const;
   /// Attaches any pending credits for `peer`'s incoming VI to `imm`.
   void piggyback_credits(int peer, Imm& imm);
   void apply_credits(const Imm& imm);
@@ -185,6 +189,12 @@ class Endpoint {
   std::unordered_map<std::uint64_t, RndvRecv> rndv_recv_;
 
   sim::Counters counters_;
+  chk::Audit::Registration audit_reg_;
+
+  // Service coroutines are owned (not detached) so endpoint teardown frees
+  // their frames; last members, destroyed before anything they reference.
+  sim::Task<> accept_task_;
+  std::vector<sim::Task<>> pump_tasks_;
 };
 
 }  // namespace meshmp::mp

@@ -2,26 +2,54 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "chk/digest.hpp"
 
 namespace meshmp::sim {
 
-void Engine::schedule(Duration delay, std::function<void()> fn) {
+Engine::Engine()
+    : audit_reg_(chk::Audit::instance().watch("sim.engine", [this] {
+        if (!heap_.empty()) {
+          chk::Audit::instance().fail(
+              "sim.engine",
+              std::to_string(heap_.size()) +
+                  " event(s) still queued at quiesce (next at t=" +
+                  std::to_string(heap_.top().when) + "ns)");
+        }
+      })) {}
+
+void Engine::schedule(Duration delay, std::function<void()> fn,
+                      const char* label) {
   if (delay < 0) throw std::invalid_argument("Engine::schedule: negative delay");
-  schedule_at(now_ + delay, std::move(fn));
+  schedule_at(now_ + delay, std::move(fn), label);
 }
 
-void Engine::schedule_at(Time t, std::function<void()> fn) {
+void Engine::schedule_at(Time t, std::function<void()> fn,
+                         const char* label) {
   if (t < now_) throw std::invalid_argument("Engine::schedule_at: time in the past");
-  heap_.push(Event{t, next_seq_++, std::move(fn)});
+  heap_.push(Event{t, next_seq_++, std::move(fn), label});
 }
 
 void Engine::post(std::coroutine_handle<> h) {
   assert(h && "posting a null coroutine handle");
-  schedule_at(now_, [h] { h.resume(); });
+  schedule_at(now_, [h] { h.resume(); }, "post");
 }
 
 void Engine::dispatch(Event ev) {
+  if (chk::Audit::enabled() && ev.when < now_) {
+    chk::Audit::instance().fail(
+        "sim.engine",
+        "time went backwards: dispatching t=" + std::to_string(ev.when) +
+            "ns at now=" + std::to_string(now_) + "ns");
+  }
+  if (digest_on_) {
+    std::uint64_t h = digest_ == 0 ? chk::kFnvOffset : digest_;
+    h = chk::fnv1a_u64(h, static_cast<std::uint64_t>(ev.when));
+    h = chk::fnv1a_u64(h, ev.seq);
+    digest_ = chk::fnv1a_cstr(h, ev.label);
+  }
   now_ = ev.when;
   ++executed_;
   ev.fn();

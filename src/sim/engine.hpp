@@ -13,13 +13,14 @@
 #include <queue>
 #include <vector>
 
+#include "chk/audit.hpp"
 #include "sim/time.hpp"
 
 namespace meshmp::sim {
 
 class Engine {
  public:
-  Engine() = default;
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -27,10 +28,13 @@ class Engine {
   [[nodiscard]] Time now() const noexcept { return now_; }
 
   /// Schedules `fn` to run `delay` nanoseconds from now (delay >= 0).
-  void schedule(Duration delay, std::function<void()> fn);
+  /// `label` (a string literal) names the event in the determinism digest.
+  void schedule(Duration delay, std::function<void()> fn,
+                const char* label = "event");
 
   /// Schedules `fn` at absolute time `t` (t >= now()).
-  void schedule_at(Time t, std::function<void()> fn);
+  void schedule_at(Time t, std::function<void()> fn,
+                   const char* label = "event");
 
   /// Schedules resumption of a suspended coroutine at the current time.
   /// All synchronization primitives wake waiters through here, never inline,
@@ -53,11 +57,19 @@ class Engine {
   /// Total events executed so far (useful for complexity assertions in tests).
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
+  /// Determinism digest: when enabled, every dispatched event folds
+  /// (when, seq, label) into a running FNV-1a hash. Two runs of the same
+  /// program must produce identical digests (chk::run_twice_and_compare).
+  void enable_digest(bool on) noexcept { digest_on_ = on; }
+  [[nodiscard]] bool digest_enabled() const noexcept { return digest_on_; }
+  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
+
  private:
   struct Event {
     Time when;
     std::uint64_t seq;
     std::function<void()> fn;
+    const char* label;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
@@ -71,7 +83,10 @@ class Engine {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  bool digest_on_ = false;
+  std::uint64_t digest_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  chk::Audit::Registration audit_reg_;
 };
 
 }  // namespace meshmp::sim

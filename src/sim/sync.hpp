@@ -13,9 +13,11 @@
 #include <deque>
 #include <limits>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "chk/audit.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
@@ -28,7 +30,7 @@ struct DelayAwaiter {
   Duration d;
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) const {
-    eng.schedule(d, [h] { h.resume(); });
+    eng.schedule(d, [h] { h.resume(); }, "delay");
   }
   void await_resume() const noexcept {}
 };
@@ -170,12 +172,19 @@ class Resource {
   static constexpr int kKernelPriority = 1;
   static constexpr int kUserPriority = 2;
 
-  Resource(Engine& eng, std::int64_t capacity)
-      : eng_(&eng), capacity_(capacity) {
+  /// `name` labels the resource in audit reports ("cpu", "bus", ...).
+  Resource(Engine& eng, std::int64_t capacity, std::string name = "resource")
+      : eng_(&eng),
+        capacity_(capacity),
+        name_(std::move(name)),
+        audit_reg_(chk::Audit::instance().watch(
+            "sim.resource." + name_, [this] { audit_quiesce(); })) {
     assert(capacity > 0);
   }
   Resource(const Resource&) = delete;
   Resource& operator=(const Resource&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
   [[nodiscard]] std::int64_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::int64_t in_use() const noexcept { return in_use_; }
@@ -214,6 +223,13 @@ class Resource {
 
   void release(std::int64_t amount = 1) {
     assert(amount > 0 && amount <= in_use_);
+    if (chk::Audit::enabled() && (amount <= 0 || amount > in_use_)) {
+      chk::Audit::instance().fail(
+          "sim.resource." + name_,
+          "release(" + std::to_string(amount) + ") with only " +
+              std::to_string(in_use_) + " of " + std::to_string(capacity_) +
+              " in use");
+    }
     ungrant(amount);
     pump();
   }
@@ -264,13 +280,32 @@ class Resource {
     }
   }
 
+  /// Quiesce invariant: nothing held, nobody waiting. A violated check means
+  /// a coroutine leaked a hold (acquire without release) or starved forever.
+  void audit_quiesce() const {
+    if (in_use_ != 0) {
+      chk::Audit::instance().fail(
+          "sim.resource." + name_,
+          std::to_string(in_use_) + " of " + std::to_string(capacity_) +
+              " still held at quiesce (leaked hold)");
+    }
+    if (!waiters_.empty()) {
+      chk::Audit::instance().fail(
+          "sim.resource." + name_,
+          std::to_string(waiters_.size()) +
+              " waiter(s) still queued at quiesce (starved acquire)");
+    }
+  }
+
   Engine* eng_;
   std::int64_t capacity_;
   std::int64_t in_use_ = 0;
   std::uint64_t next_seq_ = 0;
   Duration busy_ = 0;
   Time busy_since_ = 0;
+  std::string name_;
   std::vector<Waiter> waiters_;
+  chk::Audit::Registration audit_reg_;
 };
 
 /// Structured join for a set of concurrently spawned tasks.

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace meshmp::via {
@@ -48,7 +49,15 @@ KernelAgent::KernelAgent(hw::NodeHw& node, const topo::Torus& torus,
       my_coord_(torus.coord(mesh_rank)),
       params_(params),
       memory_(mesh_rank, rng.fork()),
-      rng_(rng) {}
+      rng_(rng),
+      audit_reg_(chk::Audit::instance().watch("via.agent", [this] {
+        if (!kcolls_.empty()) {
+          chk::Audit::instance().fail(
+              "via.agent", "node " + std::to_string(me_) + ": " +
+                               std::to_string(kcolls_.size()) +
+                               " kernel collective(s) unreaped at quiesce");
+        }
+      })) {}
 
 KernelAgent::~KernelAgent() = default;
 
@@ -130,6 +139,11 @@ Task<> KernelAgent::transmit_message(Vi& vi, MsgKind kind,
                                      const MemToken* token,
                                      std::uint64_t rma_offset) {
   if (!vi.connected()) throw std::logic_error("Vi::send on unconnected VI");
+  if (vi.failed()) {
+    // Reliable delivery already gave up on this connection; report instead of
+    // queueing frames the retransmit machinery will never move.
+    throw std::logic_error("Vi::send on failed VI");
+  }
   if (static_cast<std::int64_t>(data.size()) > params_.max_message_bytes) {
     throw std::invalid_argument("message exceeds max_message_bytes");
   }
@@ -302,10 +316,12 @@ Task<> KernelAgent::rx_data(Vi& vi, const ViaHeader& h, net::Frame& f,
     } else if (static_cast<std::int64_t>(h.msg_bytes) >
                vi.recv_descs_.front()) {
       vi.recv_descs_.pop_front();
+      ++vi.descs_consumed_total_;
       r.dropping = true;
       vi.counters_.inc("rx_descriptor_too_small");
     } else {
       vi.recv_descs_.pop_front();
+      ++vi.descs_consumed_total_;
       r.buf.assign(h.msg_bytes, std::byte{0});
     }
   }
@@ -347,6 +363,13 @@ Task<> KernelAgent::rx_rma(Vi& vi, const ViaHeader& h, net::Frame& f,
 }
 
 void KernelAgent::rx_ack(Vi& vi, const ViaHeader& h) {
+  if (chk::Audit::enabled() && h.ack_seq > vi.next_seq_) {
+    chk::Audit::instance().fail(
+        "via.vi", "node " + std::to_string(me_) + " vi " +
+                      std::to_string(vi.id()) + ": cumulative ack " +
+                      std::to_string(h.ack_seq) + " beyond send seq " +
+                      std::to_string(vi.next_seq_));
+  }
   bool progress = false;
   while (!vi.unacked_.empty()) {
     const auto* fh = std::any_cast<ViaHeader>(&vi.unacked_.front().meta);

@@ -140,6 +140,7 @@ class KernelAgent final : public hw::NicDriver {
   std::unordered_map<std::uint64_t, KernelColl> kcolls_;  // (root, seq)
 
   sim::Counters counters_;
+  chk::Audit::Registration audit_reg_;
 };
 
 }  // namespace meshmp::via

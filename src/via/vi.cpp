@@ -1,5 +1,6 @@
 #include "via/vi.hpp"
 
+#include <string>
 #include <utility>
 
 #include "via/agent.hpp"
@@ -11,10 +12,40 @@ Vi::Vi(KernelAgent& agent, std::uint32_t id)
       id_(id),
       conn_done_(agent.node().cpu().engine()),
       completions_(agent.node().cpu().engine()),
-      send_lock_(agent.node().cpu().engine(), 1) {}
+      send_lock_(agent.node().cpu().engine(), 1,
+                 "vi" + std::to_string(id) + ".sendlock"),
+      audit_reg_(chk::Audit::instance().watch("via.vi",
+                                              [this] { audit_quiesce(); })) {}
 
 void Vi::post_recv(std::int64_t max_bytes) {
+  ++descs_posted_total_;
   recv_descs_.push_back(max_bytes);
+}
+
+void Vi::audit_quiesce() const {
+  const std::string who = "node " + std::to_string(agent_.node_id()) + " vi " +
+                          std::to_string(id_) + ": ";
+  if (descs_posted_total_ != descs_consumed_total_ + recv_descs_.size()) {
+    chk::Audit::instance().fail(
+        "via.vi",
+        who + "recv descriptors not conserved: posted " +
+            std::to_string(descs_posted_total_) + " != consumed " +
+            std::to_string(descs_consumed_total_) + " + queued " +
+            std::to_string(recv_descs_.size()));
+  }
+  if (rx_.active &&
+      agent_.params().reliability == Reliability::kReliableDelivery) {
+    chk::Audit::instance().fail(
+        "via.vi", who + "reassembly incomplete at quiesce: msg " +
+                      std::to_string(rx_.msg_id) + " has " +
+                      std::to_string(rx_.frags_seen) + "/" +
+                      std::to_string(rx_.nfrags) + " fragments");
+  }
+  if (!failed_ && !unacked_.empty()) {
+    chk::Audit::instance().fail(
+        "via.vi", who + std::to_string(unacked_.size()) +
+                      " frame(s) unacknowledged at quiesce on a live VI");
+  }
 }
 
 sim::Task<> Vi::send(std::vector<std::byte> data, std::uint64_t immediate) {

@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "chk/audit.hpp"
 #include "net/frame.hpp"
 #include "sim/stats.hpp"
 #include "sim/sync.hpp"
@@ -76,6 +77,11 @@ class Vi {
  private:
   friend class KernelAgent;
 
+  /// Quiesce invariants: every posted receive descriptor is accounted for
+  /// (consumed or still queued), no half-reassembled message, and no
+  /// unacknowledged frames unless delivery gave up.
+  void audit_quiesce() const;
+
   struct Reassembly {
     std::uint32_t msg_id = 0;
     std::vector<std::byte> buf;
@@ -95,8 +101,11 @@ class Vi {
   std::uint32_t remote_vi_ = 0;
   sim::Trigger conn_done_;
 
-  // descriptors and completions
+  // descriptors and completions. The posted/consumed totals back the audit's
+  // conservation check: posted == consumed + queued, always.
   std::deque<std::int64_t> recv_descs_;
+  std::uint64_t descs_posted_total_ = 0;
+  std::uint64_t descs_consumed_total_ = 0;
   sim::Queue<RecvCompletion> completions_;
 
   // transmit state (reliable delivery)
@@ -119,6 +128,7 @@ class Vi {
   sim::Resource send_lock_;
 
   sim::Counters counters_;
+  chk::Audit::Registration audit_reg_;
 };
 
 }  // namespace meshmp::via

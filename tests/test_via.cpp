@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -291,6 +292,44 @@ TEST(ViaReliable, RecoversFromCorruptingLinks) {
   c.engine().run_until(5_s);
   ASSERT_TRUE(done);
   EXPECT_EQ(got.data, data);
+}
+
+Task<> send_expect_logic_error(Vi& vi, bool& threw) {
+  try {
+    co_await vi.send(pattern(100));
+  } catch (const std::logic_error&) {
+    threw = true;
+  }
+}
+
+TEST(ViaReliable, SendOnFailedViReportsInsteadOfHanging) {
+  GigeMeshConfig cfg = small_ring_config();
+  cfg.via.max_retries = 3;
+  cfg.via.retx_timeout = 200_us;
+  GigeMeshCluster c(cfg);
+  Conn conn = connect_pair(c, 0, 1);
+  for (topo::Rank r = 0; r < c.size(); ++r) {
+    for (topo::Dir d : c.torus().directions(c.torus().coord(r))) {
+      c.nic(r, d).wire_params().drop_prob = 1.0;
+    }
+  }
+  send_msg(*conn.a, pattern(100)).detach();
+  c.engine().run_until(1_s);
+  ASSERT_TRUE(conn.a->failed());
+  bool threw = false;
+  send_expect_logic_error(*conn.a, threw).detach();
+  c.engine().run_until(2_s);
+  EXPECT_TRUE(threw);
+}
+
+TEST(ViaConnect, SendOnUnconnectedViReportsInsteadOfHanging) {
+  GigeMeshCluster c(small_ring_config());
+  Vi& vi = c.agent(0).create_vi();
+  ASSERT_FALSE(vi.connected());
+  bool threw = false;
+  send_expect_logic_error(vi, threw).detach();
+  c.engine().run();
+  EXPECT_TRUE(threw);
 }
 
 TEST(ViaReliable, GivesUpAfterMaxRetries) {
