@@ -1,0 +1,107 @@
+// Ablation: message-passing performance under wire faults. Two experiments:
+//
+//  1. Loss-rate sweep — point-to-point half-RTT and 3-D aggregate send
+//     bandwidth as the per-frame drop probability rises from 0 to 1e-3.
+//     Reliable Delivery keeps every payload intact; the cost is the
+//     go-back-N stall whenever a window has to retransmit, so latency
+//     degrades in steps of roughly one retransmission timeout.
+//
+//  2. Mid-run link flap — aggregate bandwidth while one of the centre
+//     node's cables loses carrier partway through the streaming phase.
+//     The kernel agents route around the dead cable (paper sec. 5.1's SDF
+//     rule restricted to surviving ports), so throughput dips instead of
+//     the run hanging; longer outages cost proportionally more.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "flt/fault.hpp"
+
+namespace {
+
+using namespace benchutil;
+
+cluster::GigeMeshConfig lossy_config(double drop_prob) {
+  cluster::GigeMeshConfig cfg;
+  cfg.shape = topo::Coord{4};
+  cfg.link.drop_prob = drop_prob;
+  // A tighter timeout than the deep-pipeline default keeps single-frame
+  // recovery visible at bench scale without changing the qualitative shape.
+  cfg.via.retx_timeout = 5_ms;
+  return cfg;
+}
+
+/// Half round-trip time (us) over ping-pongs with an optional carrier flap
+/// on the 0<->1 cable partway through the measurement.
+double p2p_rtt2_us_flap(std::int64_t size, int rounds, double drop_prob,
+                        sim::Duration flap_after, sim::Duration flap_down) {
+  ViaPair p(lossy_config(drop_prob));
+  for (int i = 0; i < rounds + 4; ++i) {
+    p.a->post_recv(size + 64);
+    p.b->post_recv(size + 64);
+  }
+  std::unique_ptr<flt::Injector> inj;
+  if (flap_down > 0) {
+    flt::Schedule faults;
+    faults.link_flap(p.cluster.engine().now() + flap_after, 0,
+                     topo::Dir{0, +1}, flap_down);
+    inj = std::make_unique<flt::Injector>(p.cluster, faults);
+  }
+  sim::Time t0 = 0;
+  sim::Time t1 = 0;
+  auto pong = [](via::Vi& vi, int n) -> Task<> {
+    for (int i = 0; i < n; ++i) {
+      auto m = co_await vi.recv_completion();
+      co_await vi.send(std::move(m.data));
+    }
+  };
+  auto ping = [](via::Vi& vi, sim::Engine& eng, std::int64_t sz, int n,
+                 sim::Time& start, sim::Time& end) -> Task<> {
+    start = eng.now();
+    for (int i = 0; i < n; ++i) {
+      co_await vi.send(payload(static_cast<std::size_t>(sz)));
+      (void)co_await vi.recv_completion();
+    }
+    end = eng.now();
+  };
+  pong(*p.b, rounds).detach();
+  ping(*p.a, p.cluster.engine(), size, rounds, t0, t1).detach();
+  p.cluster.run();
+  return sim::to_us(t1 - t0) / 2.0 / rounds;
+}
+
+}  // namespace
+
+int main() {
+  const double rates[] = {0.0, 1e-5, 1e-4, 1e-3};
+
+  std::printf("# Ablation: performance vs wire loss rate\n");
+  std::printf("# p2p half-RTT (us, 8 KiB) and 3-D aggregate send BW (MB/s,"
+              " 16 KiB)\n");
+  std::printf("%12s %12s %12s\n", "drop_prob", "p2p_us", "agg3d_mbs");
+  for (double rate : rates) {
+    const double lat = p2p_rtt2_us_flap(8192, 60, rate, 0, 0);
+    const double bw =
+        via_aggregate_bw_faulty(3, 16384, 40, lossy_config(rate));
+    std::printf("%12.0e %12.2f %12.1f\n", rate, lat, bw);
+  }
+  std::printf("# every payload still arrives intact: Reliable Delivery"
+              " absorbs the loss,\n# paying one go-back-N stall per"
+              " retransmitted window\n\n");
+
+  std::printf("# Ablation: mid-run link flap (carrier down, then restored)\n");
+  std::printf("# flap hits 2 ms into the run; routing detours around the"
+              " dead cable\n");
+  std::printf("%12s %12s %12s\n", "down_ms", "p2p_us", "agg3d_mbs");
+  const sim::Duration downs[] = {0, 1_ms, 5_ms, 20_ms};
+  for (sim::Duration down : downs) {
+    const double lat = p2p_rtt2_us_flap(8192, 60, 0.0, 2_ms, down);
+    const double bw = via_aggregate_bw_faulty(3, 16384, 40, lossy_config(0.0),
+                                              2_ms, down);
+    std::printf("%12.1f %12.2f %12.1f\n", sim::to_us(down) / 1000.0, lat, bw);
+  }
+  std::printf("# no hang, no lost payloads: traffic reroutes (+2 hops worst"
+              " case) until\n# carrier returns, then falls back to the"
+              " minimal SDF route\n");
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "common.hpp"
 
 #include <array>
+#include <memory>
 
+#include "flt/fault.hpp"
 #include "mpi/mpi.hpp"
 
 namespace benchutil {
@@ -25,8 +27,16 @@ double via_aggregate_bw(int ndims, std::int64_t size, int count_per_link) {
 double via_aggregate_bw_cfg(int ndims, std::int64_t size, int count_per_link,
                             const hw::NicParams& nic_params) {
   cluster::GigeMeshConfig cfg;
-  cfg.shape = aggregate_shape(ndims);
   cfg.nic = nic_params;
+  return via_aggregate_bw_faulty(ndims, size, count_per_link, cfg);
+}
+
+double via_aggregate_bw_faulty(int ndims, std::int64_t size,
+                               int count_per_link,
+                               cluster::GigeMeshConfig cfg,
+                               sim::Duration flap_after,
+                               sim::Duration flap_down) {
+  cfg.shape = aggregate_shape(ndims);
   cluster::GigeMeshCluster c(cfg);
   const topo::Torus& t = c.torus();
   const topo::Rank center = t.rank(ndims == 2 ? topo::Coord{1, 1}
@@ -93,6 +103,12 @@ double via_aggregate_bw_cfg(int ndims, std::int64_t size, int count_per_link,
     if (++fin == total) end = eng.now();
   };
   const sim::Time t0 = c.engine().now();
+  std::unique_ptr<flt::Injector> inj;
+  if (flap_down > 0) {
+    flt::Schedule faults;
+    faults.link_flap(t0 + flap_after, center, dirs[0], flap_down);
+    inj = std::make_unique<flt::Injector>(c, faults);
+  }
   for (int i = 0; i < nlinks; ++i) {
     stream(*conns[static_cast<std::size_t>(i)].mine, size, count_per_link)
         .detach();

@@ -137,6 +137,15 @@ double via_aggregate_bw(int ndims, std::int64_t size, int count_per_link);
 /// Same, with custom adapter parameters (NAPI / coalescing ablations).
 double via_aggregate_bw_cfg(int ndims, std::int64_t size, int count_per_link,
                             const hw::NicParams& nic_params);
+/// Same, with a full cluster config (wire loss/corruption rates, VIA
+/// tunables) and an optional link flap: `flap_after` into the streaming
+/// phase the centre node's first port loses carrier for `flap_down`
+/// (0 = no flap). Shape is still fixed by `ndims`.
+double via_aggregate_bw_faulty(int ndims, std::int64_t size,
+                               int count_per_link,
+                               cluster::GigeMeshConfig cfg,
+                               sim::Duration flap_after = 0,
+                               sim::Duration flap_down = 0);
 
 // --------------------------------------------------------------------------
 // TCP harnesses

@@ -20,24 +20,41 @@ ClusterReport make_report(GigeMeshCluster& cluster) {
       r.tx_frames += c.get("tx_frames");
       r.rx_frames += c.get("rx_frames");
       r.checksum_drops += c.get("rx_checksum_drop");
+      r.corrupt_discards += c.get("rx_checksum_drop");
       r.ring_drops += c.get("rx_ring_full") + c.get("tx_ring_full");
+      r.carrier_drops +=
+          c.get("carrier_dropped") + c.get("carrier_rx_dropped");
     }
-    r.forwarded_frames += cluster.agent(rank).counters().get("fwd_frames");
+    auto& agent = cluster.agent(rank);
+    const auto& ac = agent.counters();
+    r.forwarded_frames += ac.get("fwd_frames");
+    r.rerouted_frames += ac.get("rerouted_frames");
+    r.unreachable_drops += ac.get("unreachable_drops");
+    r.ttl_expired += ac.get("ttl_expired");
+    r.vi_failures += ac.get("vi_failures");
+    for (std::uint32_t v = 0;
+         v < static_cast<std::uint32_t>(agent.vi_count()); ++v) {
+      const auto& vc = agent.vi(v).counters();
+      r.retransmits += vc.get("retransmits");
+      r.duplicate_discards += vc.get("rx_out_of_order");
+    }
   }
   r.avg_cpu_utilization /= static_cast<double>(cluster.size());
   return r;
 }
 
 std::string ClusterReport::str() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "simulated time      : %.6f s\n"
       "cpu utilization     : avg %.1f%%, max %.1f%%\n"
       "frames              : %lld tx, %lld rx, %lld forwarded\n"
       "interrupts          : %lld (%lld NAPI polls)\n"
-      "drops               : %lld checksum, %lld ring\n"
-      "retransmits         : %lld\n",
+      "drops               : %lld checksum, %lld ring, %lld carrier\n"
+      "reliability         : %lld retransmits, %lld dup-discards\n"
+      "fault handling      : %lld rerouted, %lld unreachable, %lld TTL, "
+      "%lld VI failures\n",
       sim_seconds, avg_cpu_utilization * 100, max_cpu_utilization * 100,
       static_cast<long long>(tx_frames), static_cast<long long>(rx_frames),
       static_cast<long long>(forwarded_frames),
@@ -45,7 +62,13 @@ std::string ClusterReport::str() const {
       static_cast<long long>(napi_polls),
       static_cast<long long>(checksum_drops),
       static_cast<long long>(ring_drops),
-      static_cast<long long>(retransmits));
+      static_cast<long long>(carrier_drops),
+      static_cast<long long>(retransmits),
+      static_cast<long long>(duplicate_discards),
+      static_cast<long long>(rerouted_frames),
+      static_cast<long long>(unreachable_drops),
+      static_cast<long long>(ttl_expired),
+      static_cast<long long>(vi_failures));
   return buf;
 }
 

@@ -1,0 +1,74 @@
+#include "flt/fault.hpp"
+
+#include <stdexcept>
+
+namespace meshmp::flt {
+
+Injector::Injector(cluster::GigeMeshCluster& cluster, Schedule schedule)
+    : cluster_(cluster), schedule_(std::move(schedule)) {
+  auto& eng = cluster_.engine();
+  for (const FaultEvent& ev : schedule_.events()) {
+    if (ev.at < eng.now()) {
+      throw std::invalid_argument("flt::Injector: event in the past");
+    }
+    if (!cluster_.torus().neighbor(ev.node, ev.dir)) {
+      throw std::invalid_argument("flt::Injector: no link at (node, dir)");
+    }
+    eng.schedule_at(ev.at, [this, ev] { apply(ev); }, "fault");
+  }
+}
+
+void Injector::set_cable_carrier(topo::Rank node, topo::Dir dir, bool up) {
+  // A cable has an adapter on each end; pulling it takes both down, exactly
+  // like yanking copper out of two NICs at once.
+  cluster_.nic(node, dir).set_carrier(up);
+  const auto peer = cluster_.torus().neighbor(node, dir);
+  cluster_.nic(*peer, dir.opposite()).set_carrier(up);
+}
+
+void Injector::apply(const FaultEvent& ev) {
+  hw::Nic& nic = cluster_.nic(ev.node, ev.dir);
+  const std::uint64_t key = port_key(ev.node, ev.dir);
+  switch (ev.kind) {
+    case FaultEvent::Kind::kLinkDown:
+      set_cable_carrier(ev.node, ev.dir, false);
+      counters_.inc("link_down");
+      break;
+    case FaultEvent::Kind::kLinkUp:
+      set_cable_carrier(ev.node, ev.dir, true);
+      counters_.inc("link_up");
+      break;
+    case FaultEvent::Kind::kLossStart:
+      saved_drop_.emplace(key, nic.wire_params().drop_prob);
+      nic.wire_params().drop_prob = ev.prob;
+      counters_.inc("loss_bursts");
+      break;
+    case FaultEvent::Kind::kLossStop: {
+      auto it = saved_drop_.find(key);
+      nic.wire_params().drop_prob = it != saved_drop_.end() ? it->second : 0;
+      if (it != saved_drop_.end()) saved_drop_.erase(it);
+      break;
+    }
+    case FaultEvent::Kind::kCorruptStart:
+      saved_corrupt_.emplace(key, nic.wire_params().corrupt_prob);
+      nic.wire_params().corrupt_prob = ev.prob;
+      counters_.inc("corrupt_bursts");
+      break;
+    case FaultEvent::Kind::kCorruptStop: {
+      auto it = saved_corrupt_.find(key);
+      nic.wire_params().corrupt_prob =
+          it != saved_corrupt_.end() ? it->second : 0;
+      if (it != saved_corrupt_.end()) saved_corrupt_.erase(it);
+      break;
+    }
+    case FaultEvent::Kind::kStallStart:
+      nic.set_stalled(true);
+      counters_.inc("stalls");
+      break;
+    case FaultEvent::Kind::kStallStop:
+      nic.set_stalled(false);
+      break;
+  }
+}
+
+}  // namespace meshmp::flt

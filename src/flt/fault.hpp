@@ -1,0 +1,126 @@
+#pragma once
+
+// Deterministic fault-injection campaign engine.
+//
+// A Schedule is a sim-time-scripted list of fault events — link carrier flaps,
+// loss/corruption bursts, NIC stalls — built with fluent helpers. An Injector
+// binds a schedule to a GigE mesh cluster and arms every event on the
+// simulation clock before the workload starts. Because events fire at fixed
+// simulated times (no wall-clock, no extra randomness), a faulted run is just
+// as reproducible as a clean one and composes with the run-twice determinism
+// checker: rebuild the scenario, replay the same schedule, compare digests.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/gige_mesh.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+#include "topo/torus.hpp"
+
+namespace meshmp::flt {
+
+/// One scripted fault event. Link events act on the full-duplex cable at
+/// (node, dir) — the injector applies them to both cable ends, like pulling a
+/// physical cable. Burst events scale one NIC's transmit-side wire
+/// parameters for a window, restoring the pre-burst value at the end.
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kLinkDown,
+    kLinkUp,
+    kLossStart,
+    kLossStop,
+    kCorruptStart,
+    kCorruptStop,
+    kStallStart,
+    kStallStop,
+  };
+  Kind kind = Kind::kLinkDown;
+  sim::Time at = 0;
+  topo::Rank node = 0;
+  topo::Dir dir{};
+  double prob = 0;  ///< loss/corrupt probability during a burst
+};
+
+/// Fault schedule builder. All times are absolute simulated times.
+class Schedule {
+ public:
+  Schedule& link_down(sim::Time at, topo::Rank node, topo::Dir dir) {
+    return add({FaultEvent::Kind::kLinkDown, at, node, dir, 0});
+  }
+  Schedule& link_up(sim::Time at, topo::Rank node, topo::Dir dir) {
+    return add({FaultEvent::Kind::kLinkUp, at, node, dir, 0});
+  }
+  /// Carrier drop at `at`, restore after `down_for` (a link flap).
+  Schedule& link_flap(sim::Time at, topo::Rank node, topo::Dir dir,
+                      sim::Duration down_for) {
+    link_down(at, node, dir);
+    return link_up(at + down_for, node, dir);
+  }
+  /// Random frame loss at probability `prob` on (node, dir) transmit during
+  /// [at, at+dur).
+  Schedule& loss_burst(sim::Time at, sim::Duration dur, topo::Rank node,
+                       topo::Dir dir, double prob) {
+    add({FaultEvent::Kind::kLossStart, at, node, dir, prob});
+    return add({FaultEvent::Kind::kLossStop, at + dur, node, dir, 0});
+  }
+  /// Payload corruption (caught by the receive-side CRC) during [at, at+dur).
+  Schedule& corrupt_burst(sim::Time at, sim::Duration dur, topo::Rank node,
+                          topo::Dir dir, double prob) {
+    add({FaultEvent::Kind::kCorruptStart, at, node, dir, prob});
+    return add({FaultEvent::Kind::kCorruptStop, at + dur, node, dir, 0});
+  }
+  /// Adapter stall (hung DMA/firmware): frames queue behind the stalled NIC
+  /// during [at, at+dur) and drain when it clears.
+  Schedule& nic_stall(sim::Time at, sim::Duration dur, topo::Rank node,
+                      topo::Dir dir) {
+    add({FaultEvent::Kind::kStallStart, at, node, dir, 0});
+    return add({FaultEvent::Kind::kStallStop, at + dur, node, dir, 0});
+  }
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+ private:
+  Schedule& add(FaultEvent ev) {
+    events_.push_back(ev);
+    return *this;
+  }
+  std::vector<FaultEvent> events_;
+};
+
+/// Arms a Schedule on a cluster's simulation clock. Construct after the
+/// cluster and before run(); the injector must outlive the run.
+class Injector {
+ public:
+  Injector(cluster::GigeMeshCluster& cluster, Schedule schedule);
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  [[nodiscard]] const sim::Counters& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  void apply(const FaultEvent& ev);
+  /// Sets carrier on both ends of the (node, dir) cable.
+  void set_cable_carrier(topo::Rank node, topo::Dir dir, bool up);
+
+  static std::uint64_t port_key(topo::Rank node, topo::Dir dir) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node))
+            << 8) |
+           static_cast<std::uint64_t>(static_cast<unsigned>(dir.index()));
+  }
+
+  cluster::GigeMeshCluster& cluster_;
+  Schedule schedule_;
+  // Pre-burst wire parameters, restored when the window closes.
+  std::unordered_map<std::uint64_t, double> saved_drop_;
+  std::unordered_map<std::uint64_t, double> saved_corrupt_;
+  sim::Counters counters_;
+};
+
+}  // namespace meshmp::flt

@@ -19,6 +19,7 @@ Nic::Nic(Cpu& cpu, sim::Resource& bus, NicParams params, net::LinkParams wire,
       tx_fifo_(cpu.engine()),
       tx_fifo_slots_(cpu.engine(), 4, name_ + ".txfifo"),
       rx_ring_(cpu.engine()),
+      stall_cleared_(cpu.engine()),
       audit_reg_(chk::Audit::instance().watch("hw.nic." + name_,
                                               [this] { audit_quiesce(); })) {
   dma_task_ = dma_pump();
@@ -50,6 +51,23 @@ void Nic::audit_quiesce() const {
   } else if (rx_queued_ != 0) {
     fail(std::to_string(rx_queued_) +
          " rx frame(s) undelivered to the driver at quiesce");
+  }
+}
+
+void Nic::set_carrier(bool up) {
+  if (carrier_ == up) return;
+  carrier_ = up;
+  counters_.inc(up ? "carrier_up_events" : "carrier_down_events");
+  if (driver_ != nullptr) driver_->link_change(*this, up);
+}
+
+void Nic::set_stalled(bool stalled) {
+  if (stalled_ == stalled) return;
+  stalled_ = stalled;
+  if (stalled) {
+    counters_.inc("stalls");
+  } else {
+    stall_cleared_.notify_all();
   }
 }
 
@@ -123,8 +141,14 @@ sim::Task<> Nic::dma_pump() {
 sim::Task<> Nic::wire_pump() {
   for (;;) {
     net::Frame f = co_await tx_fifo_.pop();
+    while (stalled_) co_await stall_cleared_.next();
     co_await sim::delay(cpu_.engine(), wire_time(f.wire_bytes));
     tx_fifo_slots_.release();
+    if (!carrier_) {
+      // Dead cable: the PHY clocks the frame out into nothing.
+      counters_.inc("carrier_dropped");
+      continue;
+    }
     if (wire_.drop_prob > 0 && rng_.bernoulli(wire_.drop_prob)) {
       counters_.inc("wire_dropped");
       continue;
@@ -142,6 +166,11 @@ sim::Task<> Nic::wire_pump() {
 }
 
 void Nic::receive(net::Frame f) {
+  if (!carrier_) {
+    // No link: whatever was still propagating never trains into the PHY.
+    counters_.inc("carrier_rx_dropped");
+    return;
+  }
   if (params_.hw_checksum && !f.payload.empty() && !f.checksum_ok()) {
     counters_.inc("rx_checksum_drop");
     return;

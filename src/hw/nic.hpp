@@ -59,6 +59,9 @@ class NicDriver {
   /// Processes one received frame while the ISR holds the CPU. Implementations
   /// charge their own time through `ctx` and may post frames to (other) NICs.
   virtual sim::Task<> handle_rx(net::Frame frame, IsrContext& ctx) = 0;
+  /// Carrier change notification (the e1000's link status interrupt): the
+  /// adapter `nic` saw its link go up or down. Default: ignore.
+  virtual void link_change(Nic& nic, bool up) { (void)nic, (void)up; }
 };
 
 class Nic {
@@ -94,6 +97,19 @@ class Nic {
 
   /// Fired whenever a tx descriptor frees up.
   [[nodiscard]] sim::Signal& tx_space() noexcept { return tx_space_; }
+
+  /// Carrier (link) state of the attached cable. Dropping the carrier models
+  /// a dead/unplugged cable: transmitted frames vanish at the PHY, received
+  /// frames are ignored, and the driver gets a link-status notification.
+  /// Fault schedules toggle this on both ends of a cable.
+  void set_carrier(bool up);
+  [[nodiscard]] bool carrier() const noexcept { return carrier_; }
+
+  /// Adapter stall (hung DMA engine / firmware pause): while stalled the
+  /// adapter stops moving frames from its FIFO onto the wire; everything
+  /// queues behind it and drains when the stall clears.
+  void set_stalled(bool stalled);
+  [[nodiscard]] bool stalled() const noexcept { return stalled_; }
 
   [[nodiscard]] int tx_free() const noexcept {
     return params_.tx_descriptors - tx_queued_;
@@ -146,6 +162,10 @@ class Nic {
 
   std::deque<net::Frame> qdisc_;
   bool qdisc_running_ = false;
+
+  bool carrier_ = true;
+  bool stalled_ = false;
+  sim::Signal stall_cleared_;
 
   sim::Counters counters_;
   chk::Audit::Registration audit_reg_;

@@ -88,17 +88,41 @@ Task<Endpoint::OutChannel*> Endpoint::out_channel(int dst) {
   ch.vi = co_await agent_.connect(dst, params_.service);
   ch.tokens = params_.tokens;
   out_by_vi_[ch.vi->id()] = &ch;
+  // Reliable delivery giving up on this VI (retry budget exhausted) fails
+  // the whole channel: blocked senders wake and report kUnreachable.
+  ch.vi->set_error_handler([this, dst](via::Vi&, via::ViError) {
+    auto cit = out_.find(dst);
+    if (cit != out_.end()) fail_channel(dst, *cit->second);
+  });
+  if (ch.vi->failed()) fail_channel(dst, ch);  // dial itself timed out
   ch.dialed.fire();
   counters_.inc("channels_dialed");
   co_return &ch;
 }
 
-Task<> Endpoint::take_token(OutChannel& ch) {
-  while (ch.tokens == 0) {
+Task<bool> Endpoint::take_token(OutChannel& ch) {
+  while (ch.tokens == 0 && !ch.failed) {
     counters_.inc("token_stalls");
     co_await ch.token_ready.next();
   }
+  if (ch.failed) co_return false;
   --ch.tokens;
+  co_return true;
+}
+
+void Endpoint::fail_channel(int dst, OutChannel& ch) {
+  if (ch.failed) return;
+  ch.failed = true;
+  counters_.inc("channels_failed");
+  // Wake token waiters so they observe the failure instead of stalling.
+  ch.token_ready.notify_all();
+  // Rendezvous sends to this peer will never see an RTR; complete them with
+  // the error so their callers return instead of hanging.
+  for (auto& [id, p] : pending_rndv_) {
+    if (p->dst != dst || p->failed) continue;
+    p->failed = true;
+    p->matched->fire();
+  }
 }
 
 void Endpoint::piggyback_credits(int peer, Imm& imm) {
@@ -130,6 +154,7 @@ Task<> Endpoint::maybe_return_credits(int peer, InVi& in) {
   ++in.returnable;
   if (in.returnable < params_.credit_return_threshold) co_return;
   OutChannel& ch = *co_await out_channel(peer);
+  if (ch.failed) co_return;  // peer unreachable: credits are moot
   Imm imm;
   imm.kind = WireKind::kCredit;
   imm.credits = static_cast<std::uint16_t>(in.returnable);
@@ -138,14 +163,18 @@ Task<> Endpoint::maybe_return_credits(int peer, InVi& in) {
   counters_.inc("credits_explicit", imm.credits);
   // Credit messages bypass token flow control (they are what replenishes
   // it); the receiver's control_slack descriptors absorb them.
-  co_await ch.vi->send({}, imm.pack());
+  try {
+    co_await ch.vi->send({}, imm.pack());
+  } catch (const std::logic_error&) {
+    // VI failed while this pump-side send was queued; nothing to credit.
+  }
 }
 
 // --------------------------------------------------------------------------
 // Send path
 // --------------------------------------------------------------------------
 
-Task<> Endpoint::send(int dst, int tag, std::vector<std::byte> data) {
+Task<SendStatus> Endpoint::send(int dst, int tag, std::vector<std::byte> data) {
   if (tag < 0 || tag > kMaxTag) {
     throw std::invalid_argument("Endpoint::send: tag out of range");
   }
@@ -154,15 +183,22 @@ Task<> Endpoint::send(int dst, int tag, std::vector<std::byte> data) {
   }
   if (dst == rank()) {
     co_await deliver_local(tag, std::move(data));
-    co_return;
+    co_return SendStatus::kOk;
   }
 
   auto& cpu = agent_.node().cpu();
   const auto size = static_cast<std::int64_t>(data.size());
   OutChannel& ch = *co_await out_channel(dst);
+  if (ch.failed) {
+    counters_.inc("send_unreachable");
+    co_return SendStatus::kUnreachable;
+  }
 
   if (size < params_.eager_threshold) {
-    co_await take_token(ch);
+    if (!co_await take_token(ch)) {
+      counters_.inc("send_unreachable");
+      co_return SendStatus::kUnreachable;
+    }
     // Copy #1 of the eager path: user buffer -> pre-registered bounce.
     co_await cpu.copy(size, /*hot=*/true, Cpu::kUser);
     Imm imm;
@@ -170,31 +206,52 @@ Task<> Endpoint::send(int dst, int tag, std::vector<std::byte> data) {
     imm.tag = static_cast<std::uint32_t>(tag);
     piggyback_credits(dst, imm);
     counters_.inc("eager_tx");
-    co_await ch.vi->send(std::move(data), imm.pack());
-    co_return;
+    try {
+      co_await ch.vi->send(std::move(data), imm.pack());
+    } catch (const std::logic_error&) {
+      // The VI failed between the channel check and the post.
+      counters_.inc("send_unreachable");
+      co_return SendStatus::kUnreachable;
+    }
+    co_return SendStatus::kOk;
   }
 
   // Rendezvous: announce, wait for the receiver's RTR (sender-side matched
   // by id), RMA-write, FIN.
   const std::uint32_t id = (next_rndv_id_++ & 0xffffffu);
-  auto pending = std::make_unique<PendingRndvSend>();
-  pending->data = std::move(data);
-  pending->dst = dst;
-  pending->matched = std::make_unique<sim::Trigger>(engine());
-  auto* pr = pending.get();
-  pending_rndv_.emplace(id, std::move(pending));
+  auto pr = std::make_shared<PendingRndvSend>();
+  pr->data = std::move(data);
+  pr->dst = dst;
+  pr->matched = std::make_unique<sim::Trigger>(engine());
+  pending_rndv_.emplace(id, pr);
 
-  co_await take_token(ch);
+  if (!co_await take_token(ch)) {
+    pending_rndv_.erase(id);
+    counters_.inc("send_unreachable");
+    co_return SendStatus::kUnreachable;
+  }
   Imm imm;
   imm.kind = WireKind::kRts;
   imm.tag = static_cast<std::uint32_t>(tag);
   piggyback_credits(dst, imm);
   counters_.inc("rts_tx");
-  co_await ch.vi->send(
-      serialize(RtsBody{static_cast<std::uint64_t>(size), id, tag}),
-      imm.pack());
+  try {
+    co_await ch.vi->send(
+        serialize(RtsBody{static_cast<std::uint64_t>(size), id, tag}),
+        imm.pack());
+  } catch (const std::logic_error&) {
+    pending_rndv_.erase(id);
+    counters_.inc("send_unreachable");
+    co_return SendStatus::kUnreachable;
+  }
   co_await pr->matched->wait();
+  const bool failed = pr->failed;
   pending_rndv_.erase(id);
+  if (failed) {
+    counters_.inc("send_unreachable");
+    co_return SendStatus::kUnreachable;
+  }
+  co_return SendStatus::kOk;
 }
 
 Task<> Endpoint::handle_rtr(int src, const RtrBody& rtr) {
@@ -203,25 +260,30 @@ Task<> Endpoint::handle_rtr(int src, const RtrBody& rtr) {
     counters_.inc("rtr_unmatched");
     co_return;
   }
-  PendingRndvSend& pr = *it->second;
-  assert(pr.dst == src);
+  auto pr = it->second;  // keep alive across awaits even if the send bails
+  assert(pr->dst == src);
   OutChannel& ch = *co_await out_channel(src);
+  if (ch.failed || pr->failed) co_return;
   via::MemToken token;
   token.node = src;
   token.handle = rtr.handle;
   token.key = rtr.key;
   token.bytes = rtr.bytes;
   counters_.inc("rndv_rma_tx");
-  co_await ch.vi->rma_write(std::move(pr.data), token, 0);
-  co_await take_token(ch);
-  Imm imm;
-  imm.kind = WireKind::kFin;
-  imm.tag = rtr.id;
-  piggyback_credits(src, imm);
-  co_await ch.vi->send({}, imm.pack());
+  try {
+    co_await ch.vi->rma_write(std::move(pr->data), token, 0);
+    if (!co_await take_token(ch)) co_return;
+    Imm imm;
+    imm.kind = WireKind::kFin;
+    imm.tag = rtr.id;
+    piggyback_credits(src, imm);
+    co_await ch.vi->send({}, imm.pack());
+  } catch (const std::logic_error&) {
+    co_return;  // VI failed mid-protocol; fail_channel completes the send
+  }
   // The buffer is consumed and the receive is known to be posted: the send
   // completes with the paper's synchronous-RMA semantics.
-  pr.matched->fire();
+  pr->matched->fire();
 }
 
 Task<> Endpoint::deliver_local(int tag, std::vector<std::byte> data) {
@@ -353,12 +415,29 @@ Task<> Endpoint::issue_rtr(std::shared_ptr<PostedRecv> posted, int src,
   body.key = state.token.key;
   body.bytes = state.token.bytes;
   rndv_recv_.emplace(key, std::move(state));
-  co_await take_token(ch);
-  Imm imm;
-  imm.kind = WireKind::kRtr;
-  piggyback_credits(src, imm);
-  counters_.inc("rtr_tx");
-  co_await ch.vi->send(serialize(body), imm.pack());
+  bool sent = co_await take_token(ch);
+  if (sent) {
+    Imm imm;
+    imm.kind = WireKind::kRtr;
+    piggyback_credits(src, imm);
+    counters_.inc("rtr_tx");
+    try {
+      co_await ch.vi->send(serialize(body), imm.pack());
+    } catch (const std::logic_error&) {
+      sent = false;
+    }
+  }
+  if (!sent) {
+    // The reverse channel died: the RTR cannot reach the sender, so the
+    // rendezvous will never finish. Drop the state (the posted receive stays
+    // pending, like a receive whose sender never existed).
+    counters_.inc("rtr_undeliverable");
+    auto st = rndv_recv_.find(key);
+    if (st != rndv_recv_.end()) {
+      agent_.memory().deregister(st->second.token.handle);
+      rndv_recv_.erase(st);
+    }
+  }
 }
 
 Task<> Endpoint::handle_fin(int src, std::uint32_t id) {
@@ -406,6 +485,11 @@ Task<> Endpoint::accept_loop() {
 Task<> Endpoint::pump(via::Vi* vi, int peer) {
   for (;;) {
     via::RecvCompletion comp = co_await vi->recv_completion();
+    if (comp.status != via::ViError::kNone) {
+      // Structured error completion: the VI is dead, stop pumping it.
+      counters_.inc("pump_vi_errors");
+      co_return;
+    }
     const Imm imm = Imm::unpack(comp.immediate);
     apply_credits(imm);
 

@@ -42,6 +42,15 @@ struct Message {
   std::vector<std::byte> data;
 };
 
+/// Outcome of a send. Failures are structured, not exceptional: an
+/// unreachable peer (dead link with no surviving detour, retry budget
+/// exhausted) reports kUnreachable instead of hanging or aborting, and the
+/// channel stays failed for subsequent sends.
+enum class SendStatus : std::uint8_t {
+  kOk = 0,
+  kUnreachable = 1,
+};
+
 class Endpoint {
  public:
   static constexpr int kAny = -1;
@@ -59,8 +68,9 @@ class Endpoint {
 
   /// Sends `data` to rank `dst` with `tag` (0..kMaxTag). Completes when the
   /// buffer is reusable: immediately after the bounce copy for eager sends,
-  /// after the matching receive was found for rendezvous sends.
-  sim::Task<> send(int dst, int tag, std::vector<std::byte> data);
+  /// after the matching receive was found for rendezvous sends. Returns
+  /// kUnreachable when reliable delivery to `dst` has given up.
+  sim::Task<SendStatus> send(int dst, int tag, std::vector<std::byte> data);
 
   /// Receives the next message matching (src, tag); kAny is a wildcard.
   /// When tag != kAny, only bits selected by `tag_mask` participate in the
@@ -99,6 +109,7 @@ class Endpoint {
     int tokens = 0;
     sim::Signal token_ready;
     bool dialing = false;
+    bool failed = false;  ///< underlying VI gave up; sends fail fast
     sim::Trigger dialed;
   };
 
@@ -128,6 +139,7 @@ class Endpoint {
   struct PendingRndvSend {
     std::vector<std::byte> data;
     int dst = 0;
+    bool failed = false;  ///< channel died before the receiver matched
     std::unique_ptr<sim::Trigger> matched;
   };
 
@@ -146,7 +158,13 @@ class Endpoint {
   }
 
   sim::Task<OutChannel*> out_channel(int dst);
-  sim::Task<> take_token(OutChannel& ch);
+  /// Acquires one flow-control token, or returns false once the channel has
+  /// failed (failure notifies token_ready so stalled senders wake up).
+  sim::Task<bool> take_token(OutChannel& ch);
+  /// Marks the channel to `dst` failed and fails every send blocked on it:
+  /// token waiters wake and bail, pending rendezvous to `dst` complete with
+  /// an error. Idempotent.
+  void fail_channel(int dst, OutChannel& ch);
   /// Quiesce invariants: token counts within [0, params.tokens], no pending
   /// rendezvous on either side, no posted-but-unmatched receives.
   void audit_quiesce() const;
@@ -183,8 +201,10 @@ class Endpoint {
   std::deque<Unexpected> unexpected_;
   std::unique_ptr<sim::Signal> unexpected_arrived_;
 
+  // shared_ptr: handle_rtr may still be mid-flight on an entry when a channel
+  // failure completes (and erases) the owning send.
   std::uint32_t next_rndv_id_ = 1;
-  std::unordered_map<std::uint32_t, std::unique_ptr<PendingRndvSend>>
+  std::unordered_map<std::uint32_t, std::shared_ptr<PendingRndvSend>>
       pending_rndv_;
   std::unordered_map<std::uint64_t, RndvRecv> rndv_recv_;
 

@@ -61,8 +61,10 @@ int Comm::coll_tag(int op) {
          static_cast<int>(seq << 11) | op;
 }
 
-Task<> Comm::send(std::vector<std::byte> data, int dest, int tag) {
-  co_await ep_->send(dest, user_tag(tag), std::move(data));
+Task<int> Comm::send(std::vector<std::byte> data, int dest, int tag) {
+  const mp::SendStatus st =
+      co_await ep_->send(dest, user_tag(tag), std::move(data));
+  co_return st == mp::SendStatus::kOk ? kSuccess : kErrUnreachable;
 }
 
 Task<Status> Comm::recv(std::vector<std::byte>& out, int source, int tag) {
@@ -87,8 +89,9 @@ Task<Status> Comm::sendrecv(std::vector<std::byte> senddata, int dest,
                             int sendtag, std::vector<std::byte>& recvdata,
                             int source, int recvtag) {
   Request rreq = irecv(source, recvtag);
-  co_await send(std::move(senddata), dest, sendtag);
+  const int rc = co_await send(std::move(senddata), dest, sendtag);
   Status st = co_await wait(rreq);
+  if (st.error == kSuccess) st.error = rc;
   recvdata = rreq.take_data();
   co_return st;
 }
@@ -115,7 +118,9 @@ namespace {
 
 Task<> run_isend(mp::Endpoint& ep, std::shared_ptr<Request::State> st,
                  std::vector<std::byte> data, int dest, int wire_tag) {
-  co_await ep.send(dest, wire_tag, std::move(data));
+  const mp::SendStatus rc = co_await ep.send(dest, wire_tag, std::move(data));
+  st->status.error =
+      rc == mp::SendStatus::kOk ? kSuccess : kErrUnreachable;
   st->finished = true;
   st->done.fire();
 }

@@ -34,10 +34,17 @@ inline constexpr int kAnyTag = mp::Endpoint::kAny;
 /// MPI guarantees at least 32767; we expose 2^19-1 of user tag space.
 inline constexpr int kTagUb = (1 << 19) - 1;
 
+/// Return codes (MPI_SUCCESS-style). Communication failures surface as error
+/// codes, never as hangs or aborts: an unreachable peer (link dead, no
+/// surviving route, retry budget exhausted) yields kErrUnreachable.
+inline constexpr int kSuccess = 0;
+inline constexpr int kErrUnreachable = 1;
+
 struct Status {
   int source = kAnySource;
   int tag = kAnyTag;
-  std::int64_t count = 0;  ///< received bytes
+  std::int64_t count = 0;   ///< received bytes
+  int error = kSuccess;     ///< kSuccess or kErrUnreachable
 };
 
 /// Handle for a nonblocking operation. Copyable (shared state).
@@ -84,7 +91,8 @@ class Comm {
   [[nodiscard]] mp::Endpoint& endpoint() noexcept { return *ep_; }
 
   // -- blocking point-to-point ------------------------------------------
-  sim::Task<> send(std::vector<std::byte> data, int dest, int tag);
+  /// Returns kSuccess, or kErrUnreachable when delivery to `dest` gave up.
+  sim::Task<int> send(std::vector<std::byte> data, int dest, int tag);
   sim::Task<Status> recv(std::vector<std::byte>& out, int source, int tag);
   /// Combined send+recv (both progress concurrently; deadlock-free).
   sim::Task<Status> sendrecv(std::vector<std::byte> senddata, int dest,
@@ -103,8 +111,8 @@ class Comm {
 
   // -- typed convenience ---------------------------------------------------
   template <typename T>
-  sim::Task<> send_vec(const std::vector<T>& v, int dest, int tag) {
-    co_await send(to_bytes(v), dest, tag);
+  sim::Task<int> send_vec(const std::vector<T>& v, int dest, int tag) {
+    co_return co_await send(to_bytes(v), dest, tag);
   }
   template <typename T>
   sim::Task<std::vector<T>> recv_vec(int source, int tag) {

@@ -21,9 +21,16 @@ using NodeId = std::int32_t;
 /// CRC-32 (IEEE 802.3 polynomial, bit-reflected) over a byte range.
 std::uint32_t crc32(std::span<const std::byte> data);
 
+/// Forwarding budget: enough for any minimal route on the paper's meshes
+/// plus detours around failed links, small enough to kill routing loops fast.
+inline constexpr std::uint8_t kDefaultTtl = 32;
+
 struct Frame {
   NodeId src = -1;  ///< originating node (not the last forwarder)
   NodeId dst = -1;  ///< final destination node
+  /// Remaining forwarding hops; decremented by each kernel-level switch and
+  /// dropped at zero so a transient routing loop cannot orbit forever.
+  std::uint8_t ttl = kDefaultTtl;
   /// Protocol demultiplex key on the receiving node (VIA kernel agent, TCP
   /// stack, ...). Values are assigned by the cluster builder.
   std::uint16_t proto = 0;

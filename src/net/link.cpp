@@ -31,6 +31,10 @@ sim::Task<> SimplexPipe::pump() {
     co_await sim::delay(eng_, wire_time(f.wire_bytes));
     bytes_sent_ += f.wire_bytes;
     counters_.inc("frames");
+    if (!carrier_) {
+      counters_.inc("carrier_dropped");
+      continue;
+    }
     if (params_.drop_prob > 0 && rng_.bernoulli(params_.drop_prob)) {
       counters_.inc("dropped");
       continue;

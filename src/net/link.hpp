@@ -48,6 +48,12 @@ class SimplexPipe {
   /// Queues a frame for transmission; frames serialize in FIFO order.
   void send(Frame f);
 
+  /// Carrier (link-up) state. With the carrier down the pipe behaves like an
+  /// unplugged cable: frames still serialize (the transmitting PHY does not
+  /// know) but nothing reaches the far end. Fault schedules toggle this.
+  void set_carrier(bool up) { carrier_ = up; }
+  [[nodiscard]] bool carrier() const noexcept { return carrier_; }
+
   /// Time the wire needs for one frame of this size (excl. propagation).
   [[nodiscard]] sim::Duration wire_time(std::int64_t wire_bytes) const;
 
@@ -66,6 +72,7 @@ class SimplexPipe {
   std::function<void(Frame)> sink_;
   sim::Counters counters_;
   std::int64_t bytes_sent_ = 0;
+  bool carrier_ = true;
 };
 
 /// Full-duplex cable: direction 0 is a->b, direction 1 is b->a.
@@ -77,6 +84,15 @@ class Link {
 
   SimplexPipe& a_to_b() { return a2b_; }
   SimplexPipe& b_to_a() { return b2a_; }
+
+  /// A cable cut takes both directions down at once.
+  void set_carrier(bool up) {
+    a2b_.set_carrier(up);
+    b2a_.set_carrier(up);
+  }
+  [[nodiscard]] bool carrier() const noexcept {
+    return a2b_.carrier() && b2a_.carrier();
+  }
 
  private:
   SimplexPipe a2b_;

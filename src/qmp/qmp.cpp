@@ -67,11 +67,24 @@ MsgHandle Machine::declare_receive_relative(MsgMem& mem, int dim, int sign) {
                    /*is_send=*/false);
 }
 
+const char* to_string(Status s) noexcept {
+  switch (s) {
+    case Status::kSuccess:
+      return "success";
+    case Status::kErrUnreachable:
+      return "unreachable";
+  }
+  return "?";
+}
+
 Task<> Machine::run_send(MsgHandle* h, sim::Trigger* done) {
   const int dest = neighbor_rank(h->dir_.dim, h->dir_.sign);
   // The receiver listens on the direction it declared, which is where the
   // message *comes from*: the opposite of our send direction.
-  co_await ep_->send(dest, dir_tag(h->dir_.opposite()), h->mem_->buf);
+  const mp::SendStatus rc =
+      co_await ep_->send(dest, dir_tag(h->dir_.opposite()), h->mem_->buf);
+  h->status_ =
+      rc == mp::SendStatus::kOk ? Status::kSuccess : Status::kErrUnreachable;
   done->fire();
 }
 
@@ -87,6 +100,7 @@ Task<> Machine::run_recv(MsgHandle* h, sim::Trigger* done) {
 
 void Machine::start(MsgHandle& h) {
   if (h.inflight_) throw std::logic_error("QMP handle already started");
+  h.status_ = Status::kSuccess;
   h.inflight_ = std::make_unique<sim::Trigger>(ep_->engine());
   if (h.is_send_) {
     run_send(&h, h.inflight_.get()).detach();
@@ -95,10 +109,11 @@ void Machine::start(MsgHandle& h) {
   }
 }
 
-Task<> Machine::wait(MsgHandle& h) {
+Task<Status> Machine::wait(MsgHandle& h) {
   if (!h.inflight_) throw std::logic_error("QMP handle not started");
   co_await h.inflight_->wait();
   h.inflight_.reset();  // reusable, like QMP handles
+  co_return h.status_;
 }
 
 Task<double> Machine::sum_double_kernel(double value) {

@@ -22,6 +22,16 @@
 
 namespace meshmp::qmp {
 
+/// QMP_status_t-style return codes. A send whose peer became unreachable
+/// (dead link, no surviving route) completes with kErrUnreachable instead of
+/// hanging the wait.
+enum class Status : std::uint8_t {
+  kSuccess = 0,
+  kErrUnreachable = 1,
+};
+
+[[nodiscard]] const char* to_string(Status s) noexcept;
+
 /// Declared message memory: the buffer a handle sends from / receives into.
 struct MsgMem {
   std::vector<std::byte> buf;
@@ -53,6 +63,7 @@ class MsgHandle {
   MsgMem* mem_;
   topo::Dir dir_;
   bool is_send_;
+  Status status_ = Status::kSuccess;
   std::unique_ptr<sim::Trigger> inflight_;
 };
 
@@ -81,10 +92,11 @@ class Machine {
   /// Begins the transfer (send: enqueues the buffer; receive: posts).
   void start(MsgHandle& h);
   /// Completes it; a handle can be started again afterwards (QMP reuse).
-  sim::Task<> wait(MsgHandle& h);
-  sim::Task<> start_and_wait(MsgHandle& h) {
+  /// Returns kErrUnreachable when a send's peer could not be reached.
+  sim::Task<Status> wait(MsgHandle& h);
+  sim::Task<Status> start_and_wait(MsgHandle& h) {
     start(h);
-    co_await wait(h);
+    co_return co_await wait(h);
   }
 
   // -- collectives ---------------------------------------------------------

@@ -322,6 +322,12 @@ class TaskGroup {
     wrap(std::move(task)).detach();
   }
 
+  /// Adds a value-returning task; the value is discarded at the join.
+  template <typename T>
+  void add(Task<T> task) {
+    add(drop_value(std::move(task)));
+  }
+
   Task<> join() {
     while (pending_ > 0) co_await done_.next();
     if (error_) {
@@ -334,6 +340,11 @@ class TaskGroup {
   [[nodiscard]] int pending() const noexcept { return pending_; }
 
  private:
+  template <typename T>
+  static Task<> drop_value(Task<T> task) {
+    (void)co_await task;
+  }
+
   Task<> wrap(Task<> task) {
     try {
       co_await task;

@@ -108,6 +108,59 @@ std::optional<Dir> Torus::sdf_next(const Coord& from, const Coord& to) const {
              static_cast<std::int8_t>(sign)};
 }
 
+std::optional<Dir> Torus::sdf_next_avoiding(const Coord& from, const Coord& to,
+                                            DirMask avoid) const {
+  int best_dim = -1;
+  int best_steps = 0;
+  Dir best{};
+  for (int d = 0; d < ndims(); ++d) {
+    const int dd = delta(from, to, d);
+    const int steps = std::abs(dd);
+    if (steps == 0) continue;
+    // Preferred sign first; with a wraparound half-way tie the other way
+    // around the ring is an equal-length fallback in the same dimension.
+    Dir cand{static_cast<std::int8_t>(d),
+             static_cast<std::int8_t>(dd > 0 ? +1 : -1)};
+    if (avoid & dir_bit(cand)) {
+      if (!(wrap_ && 2 * steps == shape_[d])) continue;
+      cand = cand.opposite();
+      if (avoid & dir_bit(cand)) continue;
+    }
+    if (best_dim < 0 || steps < best_steps) {
+      best_dim = d;
+      best_steps = steps;
+      best = cand;
+    }
+  }
+  if (best_dim < 0) return std::nullopt;
+  return best;
+}
+
+std::optional<Dir> Torus::detour_next(const Coord& from, const Coord& to,
+                                      DirMask avoid) const {
+  // First choice: step along a dimension that needs no movement — the
+  // detour rejoins a minimal route after exactly two extra hops.
+  for (int d = 0; d < ndims(); ++d) {
+    if (delta(from, to, d) != 0) continue;
+    for (int sign : {+1, -1}) {
+      const Dir dir{static_cast<std::int8_t>(d),
+                    static_cast<std::int8_t>(sign)};
+      if (avoid & dir_bit(dir)) continue;
+      if (neighbor(from, dir)) return dir;
+    }
+  }
+  // Last resort: the long way around a displaced dimension.
+  for (int d = 0; d < ndims(); ++d) {
+    const int dd = delta(from, to, d);
+    if (dd == 0) continue;
+    const Dir dir{static_cast<std::int8_t>(d),
+                  static_cast<std::int8_t>(dd > 0 ? -1 : +1)};
+    if (avoid & dir_bit(dir)) continue;
+    if (neighbor(from, dir)) return dir;
+  }
+  return std::nullopt;
+}
+
 std::vector<Dir> Torus::minimal_first_hops(const Coord& from,
                                            const Coord& to) const {
   std::vector<Dir> dirs;

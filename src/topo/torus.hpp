@@ -15,6 +15,14 @@ namespace meshmp::topo {
 /// Node index; row-major over coordinates, dimension 0 fastest.
 using Rank = std::int32_t;
 
+/// Bitmask over Dir::index() values, naming a node's failed (or otherwise
+/// unusable) local links for failure-aware routing.
+using DirMask = std::uint32_t;
+
+inline DirMask dir_bit(Dir d) noexcept {
+  return DirMask{1} << static_cast<unsigned>(d.index());
+}
+
 class Torus {
  public:
   /// `shape` gives the extent per dimension; `wrap` enables the wraparound
@@ -54,6 +62,23 @@ class Torus {
   /// All first-hop directions that start a minimal route from->to.
   [[nodiscard]] std::vector<Dir> minimal_first_hops(const Coord& from,
                                                     const Coord& to) const;
+
+  /// Failure-aware SDF: the SDF rule restricted to minimal first hops whose
+  /// direction is not in `avoid`. A torus has several minimal paths, so one
+  /// failed link usually leaves a same-length alternative; the wraparound
+  /// half-way tie adds an alternative within the same dimension too.
+  /// Returns nullopt when from == to or when no minimal direction survives.
+  [[nodiscard]] std::optional<Dir> sdf_next_avoiding(const Coord& from,
+                                                     const Coord& to,
+                                                     DirMask avoid) const;
+
+  /// Detour first hop when no minimal direction survives: a usable direction
+  /// that starts a +2-hop route (a step along an undisplaced dimension, or as
+  /// a last resort the long way around a displaced one). Deterministic —
+  /// lowest dimension, positive sign first. nullopt when every port is down.
+  [[nodiscard]] std::optional<Dir> detour_next(const Coord& from,
+                                               const Coord& to,
+                                               DirMask avoid) const;
 
   /// Full SDF route (sequence of directions) from->to.
   [[nodiscard]] std::vector<Dir> route(const Coord& from,

@@ -63,7 +63,22 @@ KernelAgent::~KernelAgent() = default;
 
 void KernelAgent::attach_nic(topo::Dir dir, hw::Nic& nic) {
   nic_by_dir_[dir.index()] = &nic;
+  dir_of_nic_[&nic] = dir.index();
   nic.set_driver(this);
+}
+
+void KernelAgent::link_change(hw::Nic& nic, bool up) {
+  auto it = dir_of_nic_.find(&nic);
+  if (it == dir_of_nic_.end()) return;
+  const topo::DirMask bit = topo::DirMask{1} << static_cast<unsigned>(
+                                it->second);
+  if (up) {
+    failed_dirs_ &= ~bit;
+    counters_.inc("link_up_events");
+  } else {
+    failed_dirs_ |= bit;
+    counters_.inc("link_down_events");
+  }
 }
 
 Vi& KernelAgent::create_vi() {
@@ -87,8 +102,35 @@ Task<Vi*> KernelAgent::connect(net::NodeId remote, std::uint32_t service) {
   h.src_vi = vi.id();
   h.service = service;
   kernel_post(make_frame(remote, h, {}));
+  // The handshake is not covered by reliable delivery: a watchdog re-sends
+  // the request with backoff and fails the VI once the budget runs out, so a
+  // dial to an unreachable node resolves (with vi->failed()) instead of
+  // hanging. Callers must check vi->failed() before use.
+  connect_watchdog(vi.id(), remote, service).detach();
   co_await vi.conn_done_.wait();
   co_return &vi;
+}
+
+Task<> KernelAgent::connect_watchdog(std::uint32_t vi_id, net::NodeId remote,
+                                     std::uint32_t service) {
+  Vi& vi = *vis_[vi_id];
+  auto& eng = node_.cpu().engine();
+  double wait = static_cast<double>(params_.connect_timeout);
+  for (int attempt = 0; attempt <= params_.connect_retries; ++attempt) {
+    const double jitter = 1.0 + params_.retx_jitter * rng_.uniform01();
+    co_await sim::delay(eng, static_cast<sim::Duration>(wait * jitter));
+    if (vi.connected_ || vi.failed_) co_return;
+    if (attempt == params_.connect_retries) break;
+    vi.counters_.inc("conn_retries");
+    ViaHeader h;
+    h.kind = MsgKind::kConnReq;
+    h.src_vi = vi.id();
+    h.service = service;
+    kernel_post(make_frame(remote, h, {}));
+    wait = std::min(wait * params_.retx_backoff,
+                    static_cast<double>(params_.retx_timeout_max));
+  }
+  fail_vi(vi, ViError::kUnreachable);
 }
 
 Task<Vi*> KernelAgent::accept(std::uint32_t service) {
@@ -110,20 +152,37 @@ net::Frame KernelAgent::make_frame(net::NodeId dst, ViaHeader h,
   return f;
 }
 
-hw::Nic& KernelAgent::egress_for(net::NodeId dst) {
+hw::Nic* KernelAgent::egress_for(net::NodeId dst) {
   assert(dst != me_ && "egress_for: frame addressed to self");
-  const auto dir = torus_.sdf_next(my_coord_, torus_.coord(dst));
-  assert(dir && "egress_for: no route");
+  const topo::Coord to = torus_.coord(dst);
+  auto dir = torus_.sdf_next_avoiding(my_coord_, to, failed_dirs_);
+  if (!dir) {
+    // No minimal direction survives the failures: take a +2-hop detour.
+    dir = torus_.detour_next(my_coord_, to, failed_dirs_);
+    if (!dir) {
+      counters_.inc("unreachable_drops");
+      return nullptr;
+    }
+  }
+  if (failed_dirs_ != 0) {
+    const auto preferred = torus_.sdf_next(my_coord_, to);
+    if (preferred && !(preferred->dim == dir->dim &&
+                       preferred->sign == dir->sign)) {
+      counters_.inc("rerouted_frames");
+    }
+  }
   auto it = nic_by_dir_.find(dir->index());
   if (it == nic_by_dir_.end()) {
     throw std::logic_error("KernelAgent: no adapter on direction " +
                            dir->str());
   }
-  return *it->second;
+  return it->second;
 }
 
 void KernelAgent::kernel_post(net::Frame f) {
-  egress_for(f.dst).kernel_enqueue(std::move(f));
+  hw::Nic* nic = egress_for(f.dst);
+  if (nic == nullptr) return;  // counted as unreachable_drops in egress_for
+  nic->kernel_enqueue(std::move(f));
 }
 
 Task<> KernelAgent::post_with_backpressure(hw::Nic& nic, net::Frame f) {
@@ -153,7 +212,11 @@ Task<> KernelAgent::transmit_message(Vi& vi, MsgKind kind,
 
   co_await vi.send_lock_.acquire();
   const std::uint32_t msg_id = vi.next_msg_id_++;
-  hw::Nic& nic = egress_for(vi.remote_node_);
+  // A null egress (all usable ports down) is not an immediate error: reliable
+  // frames still enter the unacked window so the ordinary retransmit/backoff
+  // machinery either recovers (link came back, detour appeared) or fails the
+  // VI after the retry budget — one failure path for every cause.
+  hw::Nic* nic = egress_for(vi.remote_node_);
   const bool reliable =
       params_.reliability == Reliability::kReliableDelivery;
 
@@ -197,7 +260,11 @@ Task<> KernelAgent::transmit_message(Vi& vi, MsgKind kind,
       vi.unacked_.push_back(f);  // keep a copy for go-back-N
       arm_retx_timer(vi);
     }
-    co_await post_with_backpressure(nic, std::move(f));
+    if (nic != nullptr) {
+      co_await post_with_backpressure(*nic, std::move(f));
+    } else {
+      vi.counters_.inc("tx_no_route");
+    }
   }
   vi.send_lock_.release();
   vi.counters_.inc(kind == MsgKind::kRmaWrite ? "tx_rma" : "tx_messages");
@@ -212,7 +279,14 @@ Task<> KernelAgent::handle_rx(net::Frame frame, hw::IsrContext& ctx) {
 
   if (frame.dst != me_) {
     // Kernel-level packet switching: pick the SDF egress adapter and re-post
-    // without any user-space copy (paper sec. 5.1: ~12.5 us/hop).
+    // without any user-space copy (paper sec. 5.1: ~12.5 us/hop). The TTL
+    // bounds the extra hops rerouting can add, so frames cannot orbit a
+    // heavily failed mesh forever.
+    if (frame.ttl == 0) {
+      counters_.inc("ttl_expired");
+      co_return;
+    }
+    --frame.ttl;
     counters_.inc("fwd_frames");
     co_await ctx.spend(hp.via_forward_per_frame);
     kernel_post(std::move(frame));
@@ -394,14 +468,25 @@ void KernelAgent::rx_connect(const ViaHeader& h, const net::Frame& f) {
       counters_.inc("conn_refused");
       return;
     }
-    Vi& vi = create_vi();
-    vi.remote_node_ = f.src;
-    vi.remote_vi_ = h.src_vi;
-    vi.connected_ = true;
-    it->second->push(&vi);
+    // The dialer re-sends kConnReq when the handshake times out; a duplicate
+    // must re-ack the VI already accepted for it, not accept a second one.
+    const std::uint64_t dial_key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(f.src)) << 32) |
+        h.src_vi;
+    auto [acc, fresh] = accepted_vis_.try_emplace(dial_key, 0);
+    if (fresh) {
+      Vi& vi = create_vi();
+      acc->second = vi.id();
+      vi.remote_node_ = f.src;
+      vi.remote_vi_ = h.src_vi;
+      vi.connected_ = true;
+      it->second->push(&vi);
+    } else {
+      counters_.inc("conn_dup_req");
+    }
     ViaHeader ack;
     ack.kind = MsgKind::kConnAck;
-    ack.src_vi = vi.id();
+    ack.src_vi = acc->second;
     ack.dst_vi = h.src_vi;
     kernel_post(make_frame(f.src, ack, {}));
     return;
@@ -412,6 +497,11 @@ void KernelAgent::rx_connect(const ViaHeader& h, const net::Frame& f) {
     return;
   }
   Vi& vi = *vis_[h.dst_vi];
+  if (vi.connected_ || vi.failed_) {
+    // Duplicate ack from a re-sent request, or the dial already gave up.
+    counters_.inc("conn_dup_ack");
+    return;
+  }
   vi.remote_vi_ = h.src_vi;
   vi.connected_ = true;
   vi.conn_done_.fire();
@@ -437,6 +527,34 @@ void KernelAgent::arm_retx_timer(Vi& vi) {
   if (vi.retx_running_) return;
   vi.retx_running_ = true;
   retx_timer_loop(vi.id()).detach();
+}
+
+void KernelAgent::fail_vi(Vi& vi, ViError err) {
+  if (vi.failed_) return;
+  vi.failed_ = true;
+  vi.error_ = err;
+  vi.counters_.inc("failed");
+  counters_.inc("vi_failures");
+  // Structured error completion: a receiver blocked in recv_completion()
+  // wakes with status != kNone instead of hanging forever.
+  RecvCompletion c;
+  c.status = err;
+  vi.completions_.push(std::move(c));
+  if (vi.on_error_) vi.on_error_(vi, err);
+  // A dial still waiting on the handshake resolves now (with failed() set).
+  vi.conn_done_.fire();
+}
+
+sim::Duration KernelAgent::backoff_delay(const Vi& vi) {
+  double t = static_cast<double>(params_.retx_timeout);
+  for (int i = 0; i < vi.retries_; ++i) {
+    t = std::min(t * params_.retx_backoff,
+                 static_cast<double>(params_.retx_timeout_max));
+  }
+  // Deterministic (seeded) jitter de-synchronizes senders sharing a failed
+  // link without breaking run-twice reproducibility.
+  t *= 1.0 + params_.retx_jitter * rng_.uniform01();
+  return static_cast<sim::Duration>(t);
 }
 
 // --------------------------------------------------------------------------
@@ -521,12 +639,15 @@ Task<> KernelAgent::retx_timer_loop(std::uint32_t vi_id) {
   auto& eng = node_.cpu().engine();
   const auto& hp = node_.cpu().host();
   while (!vi.unacked_.empty() && !vi.failed_) {
-    co_await sim::delay(eng, params_.retx_timeout);
-    if (vi.unacked_.empty()) break;
+    // Exponential backoff: consecutive fruitless retransmissions wait longer
+    // and longer, so a flapping link is probed cheaply while the retry budget
+    // still bounds total time-to-error. Ack progress resets retries_ (and so
+    // the backoff) in rx_ack.
+    co_await sim::delay(eng, backoff_delay(vi));
+    if (vi.unacked_.empty() || vi.failed_) break;
     if (eng.now() - vi.oldest_unacked_ < params_.retx_timeout) continue;
     if (++vi.retries_ > params_.max_retries) {
-      vi.failed_ = true;
-      vi.counters_.inc("failed");
+      fail_vi(vi, ViError::kUnreachable);
       break;
     }
     // Go-back-N: retransmit the whole unacked window from kernel context.

@@ -50,6 +50,7 @@ class KernelAgent final : public hw::NicDriver {
   // -- connection management (the only place the "OS" is involved) --------
   Vi& create_vi();
   [[nodiscard]] Vi& vi(std::uint32_t id) { return *vis_.at(id); }
+  [[nodiscard]] std::size_t vi_count() const noexcept { return vis_.size(); }
   /// Declares willingness to accept connections for `service`.
   void listen(std::uint32_t service);
   /// Dials (remote, service); resolves to the connected local VI.
@@ -68,6 +69,16 @@ class KernelAgent final : public hw::NicDriver {
 
   // -- NicDriver ----------------------------------------------------------
   sim::Task<> handle_rx(net::Frame frame, hw::IsrContext& ctx) override;
+  /// Carrier change on an attached adapter: marks the direction (un)usable so
+  /// the forwarding path routes around it from the next frame on. There is no
+  /// cached route table — next hops are recomputed per frame — so one mask
+  /// update is the whole "recompute routes on failure" step.
+  void link_change(hw::Nic& nic, bool up) override;
+
+  /// Bitmask of this node's currently-dead local directions.
+  [[nodiscard]] topo::DirMask failed_dirs() const noexcept {
+    return failed_dirs_;
+  }
 
   [[nodiscard]] const sim::Counters& counters() const noexcept {
     return counters_;
@@ -82,8 +93,25 @@ class KernelAgent final : public hw::NicDriver {
                                std::uint64_t immediate, const MemToken* token,
                                std::uint64_t rma_offset);
 
-  /// Picks the egress adapter for frames to `dst` (SDF first hop).
-  hw::Nic& egress_for(net::NodeId dst);
+  /// Picks the egress adapter for frames to `dst`: failure-aware SDF first
+  /// hop, falling back to a +2-hop detour when no minimal direction is up.
+  /// Returns nullptr (and counts `unreachable_drops`) when every usable port
+  /// is down.
+  hw::Nic* egress_for(net::NodeId dst);
+
+  /// Moves `vi` into the error state: queues a structured error completion,
+  /// invokes the error handler, and unblocks a dial still waiting on the
+  /// connection handshake. Idempotent.
+  void fail_vi(Vi& vi, ViError err);
+
+  /// Backoff before the next retransmission probe of `vi`:
+  /// min(retx_timeout * backoff^retries, retx_timeout_max) plus jitter.
+  sim::Duration backoff_delay(const Vi& vi);
+
+  /// Re-sends kConnReq with backoff until the handshake completes or the
+  /// retry budget runs out (then fails the VI with kUnreachable).
+  sim::Task<> connect_watchdog(std::uint32_t vi_id, net::NodeId remote,
+                               std::uint32_t service);
 
   /// ISR-safe single-frame transmit: drops (and counts) when the ring is
   /// full. Used for forwarding, acks and retransmissions.
@@ -133,10 +161,15 @@ class KernelAgent final : public hw::NicDriver {
   sim::Rng rng_;
 
   std::unordered_map<int, hw::Nic*> nic_by_dir_;
+  std::unordered_map<const hw::Nic*, int> dir_of_nic_;
+  topo::DirMask failed_dirs_ = 0;
   std::vector<std::unique_ptr<Vi>> vis_;
   std::unordered_map<std::uint32_t,
                      std::unique_ptr<sim::Queue<Vi*>>>
       accept_queues_;  // keyed by service
+  // Dials re-send kConnReq, so a duplicate must re-ack the already-accepted
+  // VI instead of accepting a second one. Keyed (dialer node, dialer VI).
+  std::unordered_map<std::uint64_t, std::uint32_t> accepted_vis_;
   std::unordered_map<std::uint64_t, KernelColl> kcolls_;  // (root, seq)
 
   sim::Counters counters_;

@@ -35,6 +35,19 @@ struct ViaParams {
   /// at GigE line rate) so deep pipelines never trigger spurious go-back-N.
   sim::Duration retx_timeout = 50_ms;
   int max_retries = 10;
+  /// Exponential backoff on consecutive retransmissions of the same window:
+  /// the n-th retry waits min(retx_timeout * backoff^n, retx_timeout_max),
+  /// plus up to retx_jitter of that as deterministic (seeded) jitter so
+  /// parallel senders behind one failed link do not retransmit in lockstep.
+  double retx_backoff = 2.0;
+  sim::Duration retx_timeout_max = 800_ms;
+  double retx_jitter = 0.25;
+
+  /// Connection dialogue timeout/retry budget: kConnReq is not covered by
+  /// reliable delivery, so the dialer re-sends it with the same backoff and
+  /// gives up (VI enters the error state) once the budget is exhausted.
+  sim::Duration connect_timeout = 10_ms;
+  int connect_retries = 4;
 
   /// Largest message a single descriptor may describe (sanity bound).
   std::int64_t max_message_bytes = std::int64_t{1} << 30;

@@ -7,6 +7,16 @@
 
 namespace meshmp::via {
 
+const char* to_string(ViError e) noexcept {
+  switch (e) {
+    case ViError::kNone:
+      return "none";
+    case ViError::kUnreachable:
+      return "unreachable";
+  }
+  return "?";
+}
+
 Vi::Vi(KernelAgent& agent, std::uint32_t id)
     : agent_(agent),
       id_(id),

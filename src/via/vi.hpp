@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -24,10 +25,22 @@ namespace meshmp::via {
 
 class KernelAgent;
 
+/// Why a VI entered the error state. Delivered in-band through a structured
+/// error completion so blocked receivers wake up instead of hanging.
+enum class ViError : std::uint8_t {
+  kNone = 0,
+  kUnreachable = 1,  ///< retry budget exhausted; peer presumed unreachable
+};
+
+[[nodiscard]] const char* to_string(ViError e) noexcept;
+
 /// A completed receive: the reassembled message plus its 64-bit immediate.
+/// When `status != kNone` this is an error completion: `data` is empty and
+/// the VI has entered its error state.
 struct RecvCompletion {
   std::vector<std::byte> data;
   std::uint64_t immediate = 0;
+  ViError status = ViError::kNone;
 };
 
 class Vi {
@@ -69,6 +82,15 @@ class Vi {
 
   /// True once reliable delivery gave up (retries exhausted).
   [[nodiscard]] bool failed() const noexcept { return failed_; }
+  /// The error that failed the VI (kNone while healthy).
+  [[nodiscard]] ViError error() const noexcept { return error_; }
+
+  /// Invoked (at most once) when the VI enters the error state, after the
+  /// structured error completion is queued. Upper layers use it to fail
+  /// pending sends/rendezvous without polling.
+  void set_error_handler(std::function<void(Vi&, ViError)> fn) {
+    on_error_ = std::move(fn);
+  }
 
   [[nodiscard]] const sim::Counters& counters() const noexcept {
     return counters_;
@@ -116,6 +138,8 @@ class Vi {
   int retries_ = 0;
   bool retx_running_ = false;
   bool failed_ = false;
+  ViError error_ = ViError::kNone;
+  std::function<void(Vi&, ViError)> on_error_;
 
   // receive state (reliable delivery)
   std::uint64_t expected_seq_ = 0;

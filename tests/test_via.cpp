@@ -85,8 +85,14 @@ TEST(ViaConnect, ConnectToNonListeningServiceIsRefused) {
   Conn conn;
   do_connect(c.agent(0), 1, 99, conn).detach();
   c.engine().run();
-  EXPECT_EQ(conn.a, nullptr);  // connect never resolves
-  EXPECT_EQ(c.agent(1).counters().get("conn_refused"), 1);
+  // The dial resolves with a failed VI (structured error) instead of
+  // leaving the connect coroutine suspended forever.
+  ASSERT_NE(conn.a, nullptr);
+  EXPECT_TRUE(conn.a->failed());
+  EXPECT_EQ(conn.a->error(), via::ViError::kUnreachable);
+  // Every dial attempt (initial + watchdog re-sends) is refused once.
+  EXPECT_GE(c.agent(1).counters().get("conn_refused"), 1);
+  EXPECT_GT(c.agent(0).counters().get("vi_failures"), 0);
 }
 
 Task<> send_msg(Vi& vi, std::vector<std::byte> data, std::uint64_t imm = 0) {
