@@ -1,12 +1,63 @@
 #include "common.hpp"
 
 #include <array>
+#include <chrono>
+#include <cstdio>
 #include <memory>
 
 #include "flt/fault.hpp"
 #include "mpi/mpi.hpp"
 
 namespace benchutil {
+
+namespace {
+
+std::int64_t host_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// BenchReport
+// --------------------------------------------------------------------------
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), start_ns_(host_now_ns()) {}
+
+double BenchReport::host_seconds() const {
+  return static_cast<double>(host_now_ns() - start_ns_) * 1e-9;
+}
+
+void BenchReport::add_row(std::vector<std::pair<std::string, double>> row) {
+  rows_.push_back(std::move(row));
+}
+
+BenchReport::~BenchReport() {
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n", name_.c_str());
+  std::fprintf(f, "  \"host_seconds\": %.6f,\n", host_seconds());
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    std::fprintf(f, "    {");
+    for (std::size_t k = 0; k < rows_[i].size(); ++k) {
+      std::fprintf(f, "%s\"%s\": %.6g", k == 0 ? "" : ", ",
+                   rows_[i][k].first.c_str(), rows_[i][k].second);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("# host wall-clock: %.3f s (-> %s)\n", host_seconds(),
+              path.c_str());
+}
 
 namespace {
 

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/gige_mesh.hpp"
@@ -22,6 +24,35 @@ namespace benchutil {
 using namespace meshmp;
 using namespace meshmp::sim::literals;
 using sim::Task;
+
+// --------------------------------------------------------------------------
+// Self-timing report: collects the simulated results a bench prints plus the
+// host wall-clock it took to produce them, and emits both as
+// BENCH_<name>.json in the working directory. Machine-readable so CI perf
+// jobs (and humans diffing runs) can track simulator throughput regressions
+// alongside the modeled numbers.
+// --------------------------------------------------------------------------
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+  /// Writes the JSON on destruction (covers early returns in bench mains).
+  ~BenchReport();
+
+  /// One result row: ordered (key, value) pairs, e.g. {{"bytes", 8},
+  /// {"broadcast_us", 208.2}}.
+  void add_row(std::vector<std::pair<std::string, double>> row);
+
+  /// Host seconds elapsed since construction.
+  double host_seconds() const;
+
+ private:
+  std::string name_;
+  std::int64_t start_ns_ = 0;
+  std::vector<std::vector<std::pair<std::string, double>>> rows_;
+};
 
 inline std::vector<std::byte> payload(std::size_t n) {
   std::vector<std::byte> v(n);

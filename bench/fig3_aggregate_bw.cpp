@@ -14,6 +14,7 @@
 int main() {
   using namespace benchutil;
 
+  BenchReport report("fig3_aggregate_bw");
   std::printf("# Figure 3: aggregated send bandwidth (MB/s) of one node\n");
   std::printf("%10s %12s %12s %12s %12s\n", "bytes", "via_3d", "via_2d",
               "tcp_3d", "tcp_2d");
@@ -29,6 +30,11 @@ int main() {
     const double tcp2 = tcp_aggregate_bw(2, s, count);
     std::printf("%10lld %12.1f %12.1f %12.1f %12.1f\n",
                 static_cast<long long>(s), via3, via2, tcp3, tcp2);
+    report.add_row({{"bytes", static_cast<double>(s)},
+                    {"via_3d_mbs", via3},
+                    {"via_2d_mbs", via2},
+                    {"tcp_3d_mbs", tcp3},
+                    {"tcp_2d_mbs", tcp2}});
   }
   return 0;
 }

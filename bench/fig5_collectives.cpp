@@ -71,6 +71,7 @@ double run_collective(Op op, std::int64_t bytes) {
 }  // namespace
 
 int main() {
+  benchutil::BenchReport report("fig5_collectives");
   std::printf("# Figure 5: broadcast and global sum on the 4x8x8 torus\n");
   std::printf("%10s %14s %14s %8s\n", "bytes", "broadcast_us",
               "globalsum_us", "ratio");
@@ -79,6 +80,9 @@ int main() {
     const double g = run_collective(Op::kGlobalSum, s);
     std::printf("%10lld %14.1f %14.1f %8.2f\n", static_cast<long long>(s), b,
                 g, g / b);
+    report.add_row({{"bytes", static_cast<double>(s)},
+                    {"broadcast_us", b},
+                    {"globalsum_us", g}});
   }
   std::printf("# paper: small-size broadcast ~200 us (10 steps), global sum"
               " ~2x broadcast\n");

@@ -1,0 +1,230 @@
+#include "buf/pool.hpp"
+
+#include <bit>
+#include <string>
+#include <utility>
+
+#include "buf/copy.hpp"
+
+namespace meshmp::buf {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+/// Class of the smallest power of two >= bytes: every vector stored in this
+/// class (capacity in [2^k, 2^(k+1))) can serve the request.
+std::size_t class_for_request(std::size_t bytes) {
+  if (bytes <= 1) return 0;
+  return static_cast<std::size_t>(std::bit_width(bytes - 1));
+}
+
+/// Class a vector's capacity files under.
+std::size_t class_for_capacity(std::size_t capacity) {
+  return static_cast<std::size_t>(std::bit_width(capacity)) - 1;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data) {
+  std::uint32_t c = 0xffffffffu;
+  for (std::byte b : data) {
+    c = kCrcTable[(c ^ static_cast<std::uint32_t>(b)) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+// --- Slice -----------------------------------------------------------------
+
+Slice::Slice(const Slice& other) noexcept
+    : ctrl_(other.ctrl_),
+      off_(other.off_),
+      len_(other.len_),
+      crc_(other.crc_),
+      crc_known_(other.crc_known_) {
+  if (ctrl_ != nullptr) ++ctrl_->refs;
+}
+
+Slice::Slice(Slice&& other) noexcept
+    : ctrl_(std::exchange(other.ctrl_, nullptr)),
+      off_(std::exchange(other.off_, 0)),
+      len_(std::exchange(other.len_, 0)),
+      crc_(other.crc_),
+      crc_known_(std::exchange(other.crc_known_, false)) {}
+
+Slice& Slice::operator=(const Slice& other) noexcept {
+  if (this == &other) return *this;
+  if (other.ctrl_ != nullptr) ++other.ctrl_->refs;
+  release();
+  ctrl_ = other.ctrl_;
+  off_ = other.off_;
+  len_ = other.len_;
+  crc_ = other.crc_;
+  crc_known_ = other.crc_known_;
+  return *this;
+}
+
+Slice& Slice::operator=(Slice&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  ctrl_ = std::exchange(other.ctrl_, nullptr);
+  off_ = std::exchange(other.off_, 0);
+  len_ = std::exchange(other.len_, 0);
+  crc_ = other.crc_;
+  crc_known_ = std::exchange(other.crc_known_, false);
+  return *this;
+}
+
+void Slice::release() noexcept {
+  if (ctrl_ != nullptr && --ctrl_->refs == 0) {
+    Pool::instance().retire(ctrl_);
+  }
+  ctrl_ = nullptr;
+  len_ = 0;
+  off_ = 0;
+  crc_known_ = false;
+}
+
+Slice Slice::subslice(std::size_t off, std::size_t len) const {
+  if (len == 0 || ctrl_ == nullptr) return {};
+  if (off == 0 && len == len_) return *this;  // keeps the CRC memo
+  ++ctrl_->refs;
+  return {ctrl_, off_ + off, len};
+}
+
+Slice Slice::corrupted(std::size_t index, std::byte mask) const {
+  std::vector<std::byte> copy = to_vector();
+  copy[index] ^= mask;
+  return Pool::instance().adopt(std::move(copy));
+}
+
+std::uint32_t Slice::crc() const {
+  if (!crc_known_) {
+    crc_ = crc32(span());
+    crc_known_ = true;
+  }
+  return crc_;
+}
+
+// --- Buffer ----------------------------------------------------------------
+
+Buffer& Buffer::operator=(Buffer&& other) noexcept {
+  if (this == &other) return *this;
+  if (live_) {
+    Pool::instance().recycle(std::move(vec_));
+    --Pool::instance().outstanding_;
+  }
+  vec_ = std::move(other.vec_);
+  live_ = std::exchange(other.live_, false);
+  return *this;
+}
+
+Buffer::~Buffer() {
+  if (live_) {
+    Pool::instance().recycle(std::move(vec_));
+    --Pool::instance().outstanding_;
+  }
+}
+
+std::vector<std::byte> Buffer::release() && {
+  if (live_) {
+    live_ = false;
+    --Pool::instance().outstanding_;
+  }
+  return std::move(vec_);
+}
+
+// --- Pool ------------------------------------------------------------------
+
+Pool& Pool::instance() {
+  static Pool pool;
+  return pool;
+}
+
+Pool::Pool()
+    : audit_reg_(chk::Audit::instance().watch("buf.pool", [this] {
+        if (outstanding_ != 0) {
+          chk::Audit::instance().fail(
+              "buf.pool", std::to_string(outstanding_) +
+                              " pooled buffer(s)/slice(s) not returned");
+        }
+      })) {}
+
+Buffer Pool::get(std::size_t bytes) {
+  std::vector<std::byte> v = obtain(bytes);
+  // Zero-fill recycled storage so stale bytes can never leak into a fresh
+  // message; also preserves the seed's "reassembly starts zeroed" behavior.
+  v.assign(bytes, std::byte{0});
+  ++outstanding_;
+  return Buffer(std::move(v));
+}
+
+Slice Pool::stage(std::span<const std::byte> src) {
+  if (src.empty()) return {};
+  std::vector<std::byte> v = obtain(src.size());
+  v.assign(src.begin(), src.end());
+  return wrap(std::move(v));
+}
+
+Slice Pool::adopt(std::vector<std::byte> v) {
+  if (v.empty()) return {};
+  ++stats_.adopts;
+  return wrap(std::move(v));
+}
+
+std::vector<std::byte> Pool::obtain(std::size_t bytes) {
+  for (std::size_t k = class_for_request(bytes); k < kClasses; ++k) {
+    if (!free_[k].empty()) {
+      std::vector<std::byte> v = std::move(free_[k].back());
+      free_[k].pop_back();
+      ++stats_.pool_hits;
+      return v;
+    }
+  }
+  ++stats_.pool_misses;
+  std::vector<std::byte> v;
+  v.reserve(bytes);
+  return v;
+}
+
+void Pool::recycle(std::vector<std::byte> v) noexcept {
+  if (v.capacity() == 0) return;
+  std::size_t k = class_for_capacity(v.capacity());
+  if (k < kClasses && free_[k].size() < kMaxFreePerClass) {
+    free_[k].push_back(std::move(v));
+  }
+}
+
+Slice Pool::wrap(std::vector<std::byte> v) {
+  std::size_t n = v.size();
+  auto* ctrl = new detail::Ctrl{std::move(v), 1};
+  ++outstanding_;
+  return {ctrl, 0, n};
+}
+
+void Pool::retire(detail::Ctrl* ctrl) noexcept {
+  recycle(std::move(ctrl->bytes));
+  delete ctrl;
+  --outstanding_;
+}
+
+// --- copy accounting (declared in copy.hpp) --------------------------------
+
+CopyStats& copy_stats_mut() noexcept {
+  static CopyStats stats;
+  return stats;
+}
+
+}  // namespace meshmp::buf

@@ -1,0 +1,200 @@
+#pragma once
+
+// Reference-counted pooled payload buffers for the simulated data path.
+//
+// The simulator models copy costs explicitly (hw::Cpu::copy,
+// hw::IsrContext::spend_copy — both reached through buf::charge_copy in
+// copy.hpp); any other byte movement is a simulation artifact and must not
+// cost host time. This module decouples the two:
+//
+//  * Pool::get(n)    -> Buffer: mutable zero-filled scratch (reassembly).
+//  * Pool::stage(s)  -> Slice:  bytes copied into a pooled buffer — the one
+//                               host copy that matches a modeled copy.
+//  * Pool::adopt(v)  -> Slice:  take ownership of an existing vector, no copy.
+//  * Slice::subslice -> aliasing offset/length view; refcount bump only.
+//
+// Slices are immutable views, so a frame forwarded over many hops, queued
+// for retransmit, and reassembled at the receiver all alias one storage
+// block. Wire corruption goes through Slice::corrupted(), which produces a
+// detached copy-on-write slice: the original (e.g. a sender's retransmit
+// queue entry) is never altered, and the detached copy carries no CRC memo,
+// so Frame::checksum_ok still genuinely detects the flip.
+//
+// Storage vectors are recycled through per-capacity-class free lists
+// (class k holds capacities in [2^k, 2^(k+1))), so steady-state traffic
+// performs no heap allocation for payload bytes. The pool is single-threaded
+// by design, like the event engine it serves.
+//
+// A chk::Audit validator ("buf.pool") reports any Buffer or Slice not
+// returned at quiesce, catching leaked references in protocol state.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "chk/audit.hpp"
+
+namespace meshmp::buf {
+
+/// CRC-32 (IEEE 802.3 polynomial, bit-reflected) over a byte range.
+/// Lives here so Slice can memoize it; net::crc32 forwards to this.
+std::uint32_t crc32(std::span<const std::byte> data);
+
+class Pool;
+class Buffer;
+
+namespace detail {
+/// Shared storage block behind one or more Slices. Refcounted (non-atomic:
+/// the simulator is single-threaded).
+struct Ctrl {
+  std::vector<std::byte> bytes;
+  std::uint32_t refs = 0;
+};
+}  // namespace detail
+
+/// Immutable offset/length view into pooled storage. Copying a Slice bumps
+/// a refcount; the storage returns to the pool when the last view dies.
+/// Carries a memoized CRC so per-hop checksum verification of an unchanged
+/// payload costs O(1).
+class Slice {
+ public:
+  Slice() noexcept = default;
+  Slice(const Slice& other) noexcept;
+  Slice(Slice&& other) noexcept;
+  Slice& operator=(const Slice& other) noexcept;
+  Slice& operator=(Slice&& other) noexcept;
+  ~Slice() { release(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return len_; }
+  [[nodiscard]] bool empty() const noexcept { return len_ == 0; }
+  [[nodiscard]] const std::byte* data() const noexcept {
+    return ctrl_ ? ctrl_->bytes.data() + off_ : nullptr;
+  }
+  [[nodiscard]] std::span<const std::byte> span() const noexcept {
+    return {data(), len_};
+  }
+  [[nodiscard]] const std::byte* begin() const noexcept { return data(); }
+  [[nodiscard]] const std::byte* end() const noexcept {
+    return data() + len_;
+  }
+  std::byte operator[](std::size_t i) const noexcept { return data()[i]; }
+
+  /// Aliasing sub-view; shares (and pins) the same storage block.
+  [[nodiscard]] Slice subslice(std::size_t off, std::size_t len) const;
+
+  /// Detached mutated copy with byte `index` XOR-ed by `mask`. The copy has
+  /// no CRC memo, so a stamped checksum genuinely mismatches afterwards.
+  [[nodiscard]] Slice corrupted(std::size_t index, std::byte mask) const;
+
+  /// Copies the view out into a plain vector (user-boundary materialization).
+  [[nodiscard]] std::vector<std::byte> to_vector() const {
+    return {begin(), end()};
+  }
+
+  /// Memoized CRC-32 of the view (0 for an empty view).
+  [[nodiscard]] std::uint32_t crc() const;
+
+ private:
+  friend class Pool;
+  Slice(detail::Ctrl* ctrl, std::size_t off, std::size_t len) noexcept
+      : ctrl_(ctrl), off_(off), len_(len) {}
+  void release() noexcept;
+
+  detail::Ctrl* ctrl_ = nullptr;
+  std::size_t off_ = 0;
+  std::size_t len_ = 0;
+  // CRC memo: copied along with the view, invalidated only by detachment
+  // (corrupted()), which is the sole way the bytes a view sees can change.
+  mutable std::uint32_t crc_ = 0;
+  mutable bool crc_known_ = false;
+};
+
+/// Mutable, uniquely owned pooled scratch buffer — used to gather fragments
+/// during reassembly. Convert to user data with release() (steals the
+/// vector: no copy at the completion boundary) or share it via
+/// Pool::adopt(std::move(buffer).release()).
+class Buffer {
+ public:
+  Buffer() noexcept = default;
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+  Buffer(Buffer&& other) noexcept
+      : vec_(std::move(other.vec_)), live_(other.live_) {
+    other.live_ = false;
+  }
+  Buffer& operator=(Buffer&& other) noexcept;
+  ~Buffer();
+
+  [[nodiscard]] std::size_t size() const noexcept { return vec_.size(); }
+  [[nodiscard]] std::byte* data() noexcept { return vec_.data(); }
+  [[nodiscard]] std::span<std::byte> span() noexcept { return vec_; }
+  [[nodiscard]] bool live() const noexcept { return live_; }
+
+  /// Steals the storage out of the pool's accounting (it now belongs to the
+  /// caller, e.g. as RecvCompletion::data). Zero-copy completion.
+  [[nodiscard]] std::vector<std::byte> release() &&;
+
+ private:
+  friend class Pool;
+  explicit Buffer(std::vector<std::byte> v) noexcept
+      : vec_(std::move(v)), live_(true) {}
+
+  std::vector<std::byte> vec_;
+  bool live_ = false;
+};
+
+/// Process-wide storage pool. Single-threaded, deterministic: pool state
+/// never feeds back into simulation decisions, only into host allocation.
+class Pool {
+ public:
+  static Pool& instance();
+
+  /// Zero-filled mutable scratch of exactly `bytes` (zero-filled so that
+  /// recycled storage can never leak stale bytes into a fresh message).
+  [[nodiscard]] Buffer get(std::size_t bytes);
+
+  /// Copy `src` into pooled storage; the caller's modeled copy charge is
+  /// the only copy this mirrors. Empty input yields a null slice.
+  [[nodiscard]] Slice stage(std::span<const std::byte> src);
+
+  /// Take ownership of `v` with no copy. Empty input yields a null slice.
+  [[nodiscard]] Slice adopt(std::vector<std::byte> v);
+
+  /// Buffers plus storage blocks currently out of the pool. Zero at quiesce
+  /// when no protocol state leaks references (audited as "buf.pool").
+  [[nodiscard]] std::size_t outstanding() const noexcept {
+    return outstanding_;
+  }
+
+  struct Stats {
+    std::uint64_t pool_hits = 0;    ///< storage served from a free list
+    std::uint64_t pool_misses = 0;  ///< storage freshly allocated
+    std::uint64_t adopts = 0;       ///< vectors adopted without copy
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  friend class Slice;
+  friend class Buffer;
+
+  Pool();
+
+  /// A vector with capacity >= bytes and unspecified size/contents.
+  std::vector<std::byte> obtain(std::size_t bytes);
+  void recycle(std::vector<std::byte> v) noexcept;
+  Slice wrap(std::vector<std::byte> v);
+  void retire(detail::Ctrl* ctrl) noexcept;
+
+  // Free lists bucketed by capacity class: free_[k] holds vectors whose
+  // capacity is in [2^k, 2^(k+1)), so any entry satisfies requests <= 2^k.
+  static constexpr std::size_t kClasses = 48;
+  static constexpr std::size_t kMaxFreePerClass = 64;
+  std::array<std::vector<std::vector<std::byte>>, kClasses> free_{};
+  std::size_t outstanding_ = 0;
+  Stats stats_{};
+  chk::Audit::Registration audit_reg_;
+};
+
+}  // namespace meshmp::buf

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "buf/pool.hpp"
+
 namespace meshmp::cluster {
 
 using sim::Task;
@@ -62,6 +64,8 @@ Task<> GmPort::send(int dst, int tag, std::vector<std::byte> data) {
   const auto nfrags = static_cast<std::uint32_t>(
       total == 0 ? 1 : (total + gm.mtu_payload - 1) / gm.mtu_payload);
   const std::uint32_t msg_id = next_msg_id_++;
+  // Adopt once; fragments alias the message storage.
+  const buf::Slice whole = buf::Pool::instance().adopt(std::move(data));
   for (std::uint32_t i = 0; i < nfrags; ++i) {
     const std::int64_t off = static_cast<std::int64_t>(i) * gm.mtu_payload;
     const std::int64_t len = std::min(gm.mtu_payload, total - off);
@@ -74,7 +78,8 @@ Task<> GmPort::send(int dst, int tag, std::vector<std::byte> data) {
     f.proto = 2;
     f.wire_bytes = std::max<std::int64_t>(len, 0) + 16;  // GM header
     if (len > 0) {
-      f.payload.assign(data.begin() + off, data.begin() + off + len);
+      f.payload = whole.subslice(static_cast<std::size_t>(off),
+                                 static_cast<std::size_t>(len));
     }
     GmHeader h;
     h.tag = tag;

@@ -145,7 +145,7 @@ struct Participant {
 
  private:
   Task<> send_ack(topo::Rank to) {
-    co_await ep.send(static_cast<int>(to), ack_tag, {});
+    co_await ep.send(static_cast<int>(to), ack_tag, buf::Slice{});
   }
 
   Task<> receiver(sim::Queue<std::vector<std::byte>>& work) {

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "buf/pool.hpp"
 #include "topo/spanning_tree.hpp"
 
 namespace meshmp::coll {
@@ -27,10 +28,14 @@ Task<> broadcast(mp::Endpoint& ep, topo::Rank root,
     data = std::move(msg.data);
   }
   // Forward to all children concurrently (the node's multi-port capability:
-  // different children sit behind different adapters).
+  // different children sit behind different adapters). Stage the payload
+  // into the pool once; every child send aliases the same slice.
+  const auto kids = topo::bcast_children(t, root, me);
+  if (kids.empty()) co_return;
+  const buf::Slice shared = buf::Pool::instance().stage(data);
   sim::TaskGroup group(ep.engine());
-  for (topo::Rank kid : topo::bcast_children(t, root, me)) {
-    group.add(ep.send(static_cast<int>(kid), tag, data));
+  for (topo::Rank kid : kids) {
+    group.add(ep.send(static_cast<int>(kid), tag, shared));
   }
   co_await group.join();
 }
@@ -52,7 +57,8 @@ Task<> reduce(mp::Endpoint& ep, topo::Rank root, std::vector<std::byte>& data,
     }
   }
   if (auto parent = topo::bcast_parent(t, root, me)) {
-    co_await ep.send(static_cast<int>(*parent), tag, data);
+    co_await ep.send(static_cast<int>(*parent), tag,
+                     buf::Pool::instance().stage(data));
   }
 }
 

@@ -155,7 +155,7 @@ sim::Task<> Nic::wire_pump() {
     }
     if (wire_.corrupt_prob > 0 && !f.payload.empty() &&
         rng_.bernoulli(wire_.corrupt_prob)) {
-      f.payload[rng_.below(f.payload.size())] ^= std::byte{0x08};
+      f.corrupt_payload_byte(rng_.below(f.payload.size()), std::byte{0x08});
       counters_.inc("wire_corrupted");
     }
     assert(peer_ && "Nic: no peer attached");

@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "buf/copy.hpp"
+
 namespace meshmp::mp {
 
 using hw::Cpu;
@@ -164,7 +166,7 @@ Task<> Endpoint::maybe_return_credits(int peer, InVi& in) {
   // Credit messages bypass token flow control (they are what replenishes
   // it); the receiver's control_slack descriptors absorb them.
   try {
-    co_await ch.vi->send({}, imm.pack());
+    co_await ch.vi->send(buf::Slice{}, imm.pack());
   } catch (const std::logic_error&) {
     // VI failed while this pump-side send was queued; nothing to credit.
   }
@@ -175,6 +177,11 @@ Task<> Endpoint::maybe_return_credits(int peer, InVi& in) {
 // --------------------------------------------------------------------------
 
 Task<SendStatus> Endpoint::send(int dst, int tag, std::vector<std::byte> data) {
+  co_return co_await send(dst, tag,
+                          buf::Pool::instance().adopt(std::move(data)));
+}
+
+Task<SendStatus> Endpoint::send(int dst, int tag, buf::Slice data) {
   if (tag < 0 || tag > kMaxTag) {
     throw std::invalid_argument("Endpoint::send: tag out of range");
   }
@@ -200,7 +207,7 @@ Task<SendStatus> Endpoint::send(int dst, int tag, std::vector<std::byte> data) {
       co_return SendStatus::kUnreachable;
     }
     // Copy #1 of the eager path: user buffer -> pre-registered bounce.
-    co_await cpu.copy(size, /*hot=*/true, Cpu::kUser);
+    co_await buf::charge_copy(cpu, size, /*hot=*/true);
     Imm imm;
     imm.kind = WireKind::kEager;
     imm.tag = static_cast<std::uint32_t>(tag);
@@ -271,13 +278,13 @@ Task<> Endpoint::handle_rtr(int src, const RtrBody& rtr) {
   token.bytes = rtr.bytes;
   counters_.inc("rndv_rma_tx");
   try {
-    co_await ch.vi->rma_write(std::move(pr->data), token, 0);
+    co_await ch.vi->rma_write(pr->data, token, 0);
     if (!co_await take_token(ch)) co_return;
     Imm imm;
     imm.kind = WireKind::kFin;
     imm.tag = rtr.id;
     piggyback_credits(src, imm);
-    co_await ch.vi->send({}, imm.pack());
+    co_await ch.vi->send(buf::Slice{}, imm.pack());
   } catch (const std::logic_error&) {
     co_return;  // VI failed mid-protocol; fail_channel completes the send
   }
@@ -286,19 +293,21 @@ Task<> Endpoint::handle_rtr(int src, const RtrBody& rtr) {
   pr->matched->fire();
 }
 
-Task<> Endpoint::deliver_local(int tag, std::vector<std::byte> data) {
+Task<> Endpoint::deliver_local(int tag, buf::Slice data) {
   auto& cpu = agent_.node().cpu();
   const auto size = static_cast<std::int64_t>(data.size());
-  co_await cpu.copy(size, size <= cpu.host().cache_bytes, Cpu::kUser);
+  // One modeled copy from the sender's buffer into the receiver's; the
+  // to_vector materialization below is the host movement it accounts for.
+  co_await buf::charge_copy(cpu, size, size <= cpu.host().cache_bytes);
   counters_.inc("self_tx");
   if (auto posted = match_posted(rank(), tag)) {
-    complete(*posted, Message{rank(), tag, std::move(data)});
+    complete(*posted, Message{rank(), tag, data.to_vector()});
     co_return;
   }
   Unexpected u;
   u.src = rank();
   u.tag = tag;
-  u.data = std::move(data);
+  u.data = data.to_vector();
   unexpected_.push_back(std::move(u));
   unexpected_arrived_->notify_all();
 }
@@ -339,8 +348,8 @@ Task<Message> Endpoint::recv(int src, int tag, int tag_mask) {
     if (!u.is_rts) {
       // Copy #2 of the eager path: bounce buffer -> user buffer.
       auto& cpu = agent_.node().cpu();
-      co_await cpu.copy(static_cast<std::int64_t>(u.data.size()),
-                        /*hot=*/true, Cpu::kUser);
+      co_await buf::charge_copy(cpu, static_cast<std::int64_t>(u.data.size()),
+                                /*hot=*/true);
       counters_.inc("recv_from_unexpected");
       co_return Message{u.src, u.tag, std::move(u.data)};
     }
@@ -369,8 +378,8 @@ Task<> Endpoint::handle_eager(int src, int tag, std::vector<std::byte> data) {
   if (auto posted = match_posted(src, tag)) {
     // Copy #2 of the eager path, charged at user priority.
     auto& cpu = agent_.node().cpu();
-    co_await cpu.copy(static_cast<std::int64_t>(data.size()), /*hot=*/true,
-                      Cpu::kUser);
+    co_await buf::charge_copy(cpu, static_cast<std::int64_t>(data.size()),
+                              /*hot=*/true);
     complete(*posted, Message{src, tag, std::move(data)});
     co_return;
   }
@@ -448,15 +457,13 @@ Task<> Endpoint::handle_fin(int src, std::uint32_t id) {
   }
   RndvRecv state = std::move(it->second);
   rndv_recv_.erase(it);
-  auto region = agent_.memory().region(state.token.handle);
   // Handing the registered region to the user is zero-copy in the real
-  // implementation; materialize the bytes without charging CPU time.
+  // implementation; steal its storage outright so the host does not copy
+  // either. The RMA write into the region was the one modeled copy.
   Message msg;
   msg.src = src;
   msg.tag = state.tag;
-  msg.data.assign(region.begin(),
-                  region.begin() + static_cast<std::ptrdiff_t>(state.size));
-  agent_.memory().deregister(state.token.handle);
+  msg.data = agent_.memory().take_storage(state.token.handle);
   counters_.inc("rndv_rx");
   complete(*state.posted, std::move(msg));
   co_return;

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "buf/pool.hpp"
 #include "chk/audit.hpp"
 #include "mp/params.hpp"
 #include "mp/wire.hpp"
@@ -70,7 +71,11 @@ class Endpoint {
   /// buffer is reusable: immediately after the bounce copy for eager sends,
   /// after the matching receive was found for rendezvous sends. Returns
   /// kUnreachable when reliable delivery to `dst` has given up.
+  /// The vector overload adopts the bytes into the buffer pool; the slice
+  /// overload lets callers (e.g. collectives) share one staged payload
+  /// across several sends without host copies.
   sim::Task<SendStatus> send(int dst, int tag, std::vector<std::byte> data);
+  sim::Task<SendStatus> send(int dst, int tag, buf::Slice data);
 
   /// Receives the next message matching (src, tag); kAny is a wildcard.
   /// When tag != kAny, only bits selected by `tag_mask` participate in the
@@ -137,7 +142,7 @@ class Endpoint {
   };
 
   struct PendingRndvSend {
-    std::vector<std::byte> data;
+    buf::Slice data;  ///< pinned send buffer, shared with the RMA write
     int dst = 0;
     bool failed = false;  ///< channel died before the receiver matched
     std::unique_ptr<sim::Trigger> matched;
@@ -181,7 +186,7 @@ class Endpoint {
   sim::Task<> handle_rtr(int src, const RtrBody& rtr);
   sim::Task<> handle_fin(int src, std::uint32_t id);
   sim::Task<> maybe_return_credits(int peer, InVi& in);
-  sim::Task<> deliver_local(int tag, std::vector<std::byte> data);
+  sim::Task<> deliver_local(int tag, buf::Slice data);
 
   static bool tag_matches(int want, int mask, int got) {
     return want == kAny || (want & mask) == (got & mask);

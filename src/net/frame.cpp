@@ -1,33 +1,13 @@
 #include "net/frame.hpp"
 
-#include <array>
+#include "buf/pool.hpp"
 
 namespace meshmp::net {
 
-namespace {
-
-constexpr std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
-constexpr auto kCrcTable = make_crc_table();
-
-}  // namespace
-
+// The table implementation lives in buf so Slice can memoize CRCs; this
+// wrapper keeps the historical net-level entry point for callers and tests.
 std::uint32_t crc32(std::span<const std::byte> data) {
-  std::uint32_t c = 0xffffffffu;
-  for (std::byte b : data) {
-    c = kCrcTable[(c ^ static_cast<std::uint32_t>(b)) & 0xffu] ^ (c >> 8);
-  }
-  return c ^ 0xffffffffu;
+  return buf::crc32(data);
 }
 
 }  // namespace meshmp::net

@@ -6,12 +6,19 @@
 // (through fragmentation, kernel forwarding, corruption and retransmission),
 // plus a modelled `wire_bytes` size that includes protocol headers the
 // simulation does not materialize.
+//
+// The payload is a buf::Slice: a refcounted view into pooled storage, so
+// copying a frame (per-hop forwarding, retransmit queues, DMA staging) bumps
+// a refcount instead of duplicating bytes. Modeled copy costs are charged
+// separately through buf::charge_copy; see src/buf/.
 
 #include <any>
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "buf/pool.hpp"
 
 namespace meshmp::net {
 
@@ -39,18 +46,27 @@ struct Frame {
   std::int64_t wire_bytes = 0;
   /// CRC of `payload` computed at transmit time (hardware checksum model).
   std::uint32_t checksum = 0;
-  /// Actual data carried (empty for pure control frames).
-  std::vector<std::byte> payload;
+  /// Actual data carried (null slice for pure control frames). Immutable:
+  /// wire corruption must go through corrupt_payload_byte().
+  buf::Slice payload;
   /// Protocol-private header (e.g. via::FrameHeader). One heap allocation per
   /// frame; only the owning protocol reads it.
   std::any meta;
 
   /// Recomputes `checksum` from the payload (done by the NIC on transmit —
-  /// the Intel Pro/1000MT offloads this, so it costs no host CPU).
-  void stamp_checksum() { checksum = crc32(payload); }
+  /// the Intel Pro/1000MT offloads this, so it costs no host CPU). The
+  /// slice memoizes its CRC, so restamping on forward costs O(1).
+  void stamp_checksum() { checksum = payload.crc(); }
 
   /// True when payload still matches the transmit-time checksum.
-  [[nodiscard]] bool checksum_ok() const { return checksum == crc32(payload); }
+  [[nodiscard]] bool checksum_ok() const { return checksum == payload.crc(); }
+
+  /// Models a wire bit error: replaces the payload with a detached mutated
+  /// copy (the original storage — shared with retransmit queues — is never
+  /// altered, and the copy carries no CRC memo, so checksum_ok() fails).
+  void corrupt_payload_byte(std::size_t index, std::byte mask) {
+    payload = payload.corrupted(index, mask);
+  }
 };
 
 /// Convenience: byte-vector from any trivially copyable object sequence.

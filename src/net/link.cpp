@@ -43,8 +43,7 @@ sim::Task<> SimplexPipe::pump() {
         rng_.bernoulli(params_.corrupt_prob)) {
       // Flip one bit somewhere in the payload; the transmit-time checksum no
       // longer matches and the receiving NIC will discard the frame.
-      auto& b = f.payload[rng_.below(f.payload.size())];
-      b ^= std::byte{0x10};
+      f.corrupt_payload_byte(rng_.below(f.payload.size()), std::byte{0x10});
       counters_.inc("corrupted");
     }
     assert(sink_ && "SimplexPipe: no sink attached");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "buf/copy.hpp"
 #include "tcpstack/stack.hpp"
 
 namespace meshmp::tcpstack {
@@ -31,7 +32,7 @@ sim::Task<std::vector<std::byte>> TcpSocket::recv(std::int64_t max_bytes) {
   const auto take = std::min(max_bytes, avail);
   // The second copy of the TCP path: kernel socket buffer -> user buffer.
   const bool hot = take <= cpu.host().cache_bytes;
-  co_await cpu.copy(take, hot, hw::Cpu::kUser);
+  co_await buf::charge_copy(cpu, take, hot);
   std::vector<std::byte> out(
       sockbuf_.begin() + static_cast<std::ptrdiff_t>(sockbuf_head_),
       sockbuf_.begin() + static_cast<std::ptrdiff_t>(sockbuf_head_ + take));

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "buf/copy.hpp"
+
 namespace meshmp::tcpstack {
 
 using hw::Cpu;
@@ -53,8 +55,8 @@ Task<TcpSocket*> TcpStack::accept(std::uint16_t port) {
   co_return s;
 }
 
-net::Frame TcpStack::make_frame(net::NodeId dst, TcpHeader h,
-                                std::vector<std::byte> payload) const {
+net::Frame TcpStack::make_frame(net::NodeId dst, const TcpHeader& h,
+                                buf::Slice payload) const {
   net::Frame f;
   f.src = me_;
   f.dst = dst;
@@ -93,6 +95,9 @@ Task<> TcpStack::stream_out(TcpSocket& s, std::vector<std::byte> data) {
   const auto& hp = node_.cpu().host();
   const auto total = static_cast<std::int64_t>(data.size());
   const bool hot = total <= hp.cache_bytes;
+  // Adopt the stream once; every MSS segment below aliases this storage, so
+  // the *modeled* user->skb copy per segment has no host-side counterpart.
+  const buf::Slice whole = buf::Pool::instance().adopt(std::move(data));
 
   co_await s.send_lock_.acquire();
   hw::Nic& nic = egress_for(s.remote_node_);
@@ -109,7 +114,7 @@ Task<> TcpStack::stream_out(TcpSocket& s, std::vector<std::byte> data) {
       }
     }
     // Copy #1 of the TCP path: user buffer -> kernel skb.
-    co_await node_.cpu().copy(len, hot, Cpu::kUser);
+    co_await buf::charge_copy(node_.cpu(), len, hot);
     // Per-segment protocol transmit work.
     co_await node_.cpu().busy(hp.tcp_tx_per_frame, Cpu::kUser);
 
@@ -118,8 +123,8 @@ Task<> TcpStack::stream_out(TcpSocket& s, std::vector<std::byte> data) {
     h.src_conn = s.id();
     h.dst_conn = s.remote_conn_;
     h.seq = s.next_tx_seq_;
-    std::vector<std::byte> chunk(
-        data.begin() + off, data.begin() + off + len);
+    buf::Slice chunk = whole.subslice(static_cast<std::size_t>(off),
+                                      static_cast<std::size_t>(len));
     net::Frame f = make_frame(s.remote_node_, h, std::move(chunk));
     s.next_tx_seq_ += static_cast<std::uint64_t>(len);
     if (s.unacked_.empty()) {

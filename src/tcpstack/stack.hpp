@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "buf/pool.hpp"
 #include "hw/nic.hpp"
 #include "hw/node.hpp"
 #include "sim/stats.hpp"
@@ -61,8 +62,8 @@ class TcpStack final : public hw::NicDriver {
   hw::Nic& egress_for(net::NodeId dst);
   void kernel_post(net::Frame f);
   sim::Task<> post_with_backpressure(hw::Nic& nic, net::Frame f);
-  net::Frame make_frame(net::NodeId dst, TcpHeader h,
-                        std::vector<std::byte> payload) const;
+  net::Frame make_frame(net::NodeId dst, const TcpHeader& h,
+                        buf::Slice payload) const;
   void send_ack(TcpSocket& s);
   void arm_ack_timer(TcpSocket& s);
   void arm_retx_timer(TcpSocket& s);

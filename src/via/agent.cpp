@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <any>
+#include <array>
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
 #include <string>
 #include <utility>
+
+#include "buf/copy.hpp"
 
 namespace meshmp::via {
 
@@ -26,13 +29,13 @@ std::uint64_t kcoll_key(topo::Rank root, std::uint32_t seq) {
          seq;
 }
 
-std::vector<std::byte> pack_double(double v) {
-  std::vector<std::byte> out(sizeof(double));
-  std::memcpy(out.data(), &v, sizeof(double));
-  return out;
+buf::Slice pack_double(double v) {
+  std::array<std::byte, sizeof(double)> raw;
+  std::memcpy(raw.data(), &v, sizeof(double));
+  return buf::Pool::instance().stage(raw);
 }
 
-double unpack_double(const std::vector<std::byte>& bytes) {
+double unpack_double(const buf::Slice& bytes) {
   assert(bytes.size() == sizeof(double));
   double v;
   std::memcpy(&v, bytes.data(), sizeof(double));
@@ -139,8 +142,8 @@ Task<Vi*> KernelAgent::accept(std::uint32_t service) {
   co_return vi;
 }
 
-net::Frame KernelAgent::make_frame(net::NodeId dst, ViaHeader h,
-                                   std::vector<std::byte> payload) const {
+net::Frame KernelAgent::make_frame(net::NodeId dst, const ViaHeader& h,
+                                   buf::Slice payload) const {
   net::Frame f;
   f.src = me_;
   f.dst = dst;
@@ -192,8 +195,7 @@ Task<> KernelAgent::post_with_backpressure(hw::Nic& nic, net::Frame f) {
   (void)ok;
 }
 
-Task<> KernelAgent::transmit_message(Vi& vi, MsgKind kind,
-                                     std::vector<std::byte> data,
+Task<> KernelAgent::transmit_message(Vi& vi, MsgKind kind, buf::Slice data,
                                      std::uint64_t immediate,
                                      const MemToken* token,
                                      std::uint64_t rma_offset) {
@@ -230,9 +232,12 @@ Task<> KernelAgent::transmit_message(Vi& vi, MsgKind kind,
                              params_.mtu_payload;
     const std::int64_t len =
         std::min<std::int64_t>(params_.mtu_payload, total - off);
-    std::vector<std::byte> chunk;
+    // Fragments alias the message slice: no host copy per fragment, and the
+    // retransmit window below shares the same storage by refcount.
+    buf::Slice chunk;
     if (len > 0) {
-      chunk.assign(data.begin() + off, data.begin() + off + len);
+      chunk = data.subslice(static_cast<std::size_t>(off),
+                            static_cast<std::size_t>(len));
     }
 
     ViaHeader h;
@@ -257,7 +262,7 @@ Task<> KernelAgent::transmit_message(Vi& vi, MsgKind kind,
       if (vi.unacked_.empty()) {
         vi.oldest_unacked_ = node_.cpu().engine().now();
       }
-      vi.unacked_.push_back(f);  // keep a copy for go-back-N
+      vi.unacked_.push_back(f);  // go-back-N window entry (aliases payload)
       arm_retx_timer(vi);
     }
     if (nic != nullptr) {
@@ -396,26 +401,30 @@ Task<> KernelAgent::rx_data(Vi& vi, const ViaHeader& h, net::Frame& f,
     } else {
       vi.recv_descs_.pop_front();
       ++vi.descs_consumed_total_;
-      r.buf.assign(h.msg_bytes, std::byte{0});
+      r.buf = buf::Pool::instance().get(h.msg_bytes);
     }
   }
 
   if (!r.dropping && !f.payload.empty()) {
     // The single receive-side memory copy of the modified M-VIA: kernel ring
-    // buffer -> (registered) user buffer.
+    // buffer -> (registered) user buffer. The host memcpy below is the one
+    // byte movement this charge models.
     const bool hot =
         static_cast<std::int64_t>(h.msg_bytes) <= hp.cache_bytes;
-    co_await ctx.spend_copy(static_cast<std::int64_t>(f.payload.size()), hot);
-    const auto off = static_cast<std::ptrdiff_t>(h.frag) *
-                     static_cast<std::ptrdiff_t>(params_.mtu_payload);
-    std::copy(f.payload.begin(), f.payload.end(), r.buf.begin() + off);
+    co_await buf::charge_copy(ctx, static_cast<std::int64_t>(f.payload.size()),
+                              hot);
+    const auto off = static_cast<std::size_t>(h.frag) *
+                     static_cast<std::size_t>(params_.mtu_payload);
+    std::memcpy(r.buf.data() + off, f.payload.data(), f.payload.size());
   }
   ++r.frags_seen;
 
   if (r.frags_seen == r.nfrags) {
     if (!r.dropping) {
       co_await ctx.spend(hp.wakeup);
-      vi.completions_.push(RecvCompletion{std::move(r.buf), r.immediate});
+      // Completion steals the pooled storage: no copy at the user boundary.
+      vi.completions_.push(
+          RecvCompletion{std::move(r.buf).release(), r.immediate});
       vi.counters_.inc("rx_messages");
     }
     r = Vi::Reassembly{};
@@ -428,8 +437,10 @@ Task<> KernelAgent::rx_rma(Vi& vi, const ViaHeader& h, net::Frame& f,
   co_await ctx.spend(hp.via_rx_per_frame);
   if (!reliable_accept(vi, h)) co_return;
   const bool hot = static_cast<std::int64_t>(h.msg_bytes) <= hp.cache_bytes;
-  co_await ctx.spend_copy(static_cast<std::int64_t>(f.payload.size()), hot);
-  if (!memory_.write(h.rma_handle, h.rma_key, h.rma_offset, f.payload)) {
+  co_await buf::charge_copy(ctx, static_cast<std::int64_t>(f.payload.size()),
+                            hot);
+  if (!memory_.write(h.rma_handle, h.rma_key, h.rma_offset,
+                     f.payload.span())) {
     vi.counters_.inc("rma_rejected");
   } else {
     vi.counters_.inc("rx_rma_frames");
@@ -656,7 +667,7 @@ Task<> KernelAgent::retx_timer_loop(std::uint32_t vi_id) {
         hp.via_tx_per_frame * static_cast<sim::Duration>(vi.unacked_.size()),
         Cpu::kKernel);
     for (const net::Frame& f : vi.unacked_) {
-      kernel_post(f);  // copy
+      kernel_post(f);  // frame copy; payload shared by refcount
     }
     vi.oldest_unacked_ = eng.now();
   }

@@ -88,8 +88,8 @@ class KernelAgent final : public hw::NicDriver {
   friend class Vi;
 
   /// Fragments and transmits one message (kData or kRmaWrite) on `vi`.
-  sim::Task<> transmit_message(Vi& vi, MsgKind kind,
-                               std::vector<std::byte> data,
+  /// Fragments alias `data` — no per-fragment host copy.
+  sim::Task<> transmit_message(Vi& vi, MsgKind kind, buf::Slice data,
                                std::uint64_t immediate, const MemToken* token,
                                std::uint64_t rma_offset);
 
@@ -120,8 +120,8 @@ class KernelAgent final : public hw::NicDriver {
   /// User-context transmit that waits for descriptor-ring space.
   sim::Task<> post_with_backpressure(hw::Nic& nic, net::Frame f);
 
-  net::Frame make_frame(net::NodeId dst, ViaHeader h,
-                        std::vector<std::byte> payload) const;
+  net::Frame make_frame(net::NodeId dst, const ViaHeader& h,
+                        buf::Slice payload) const;
 
   // receive-path pieces (run in ISR context)
   sim::Task<> rx_data(Vi& vi, const ViaHeader& h, net::Frame& f,

@@ -45,6 +45,17 @@ class MemoryRegistry {
 
   void deregister(std::uint32_t handle) { regions_.erase(handle); }
 
+  /// Steals the region's storage and deregisters it in one step: the
+  /// zero-copy handoff from a rendezvous landing zone to the user's message
+  /// buffer (the RMA write into the region was the one modeled copy).
+  [[nodiscard]] std::vector<std::byte> take_storage(std::uint32_t handle) {
+    auto it = regions_.find(handle);
+    if (it == regions_.end()) return {};
+    std::vector<std::byte> out = std::move(it->second.storage);
+    regions_.erase(it);
+    return out;
+  }
+
   /// Direct access for the owning process (e.g. to read a received message).
   [[nodiscard]] std::span<std::byte> region(std::uint32_t handle) {
     auto it = regions_.find(handle);

@@ -59,6 +59,10 @@ void Vi::audit_quiesce() const {
 }
 
 sim::Task<> Vi::send(std::vector<std::byte> data, std::uint64_t immediate) {
+  co_await send(buf::Pool::instance().adopt(std::move(data)), immediate);
+}
+
+sim::Task<> Vi::send(buf::Slice data, std::uint64_t immediate) {
   auto& cpu = agent_.node().cpu();
   co_await cpu.busy(cpu.host().via_post, hw::Cpu::kUser);
   co_await agent_.transmit_message(*this, MsgKind::kData, std::move(data),
@@ -66,6 +70,12 @@ sim::Task<> Vi::send(std::vector<std::byte> data, std::uint64_t immediate) {
 }
 
 sim::Task<> Vi::rma_write(std::vector<std::byte> data, const MemToken& token,
+                          std::uint64_t offset) {
+  co_await rma_write(buf::Pool::instance().adopt(std::move(data)), token,
+                     offset);
+}
+
+sim::Task<> Vi::rma_write(buf::Slice data, const MemToken& token,
                           std::uint64_t offset) {
   auto& cpu = agent_.node().cpu();
   co_await cpu.busy(cpu.host().via_post, hw::Cpu::kUser);

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "buf/pool.hpp"
 #include "chk/audit.hpp"
 #include "net/frame.hpp"
 #include "sim/stats.hpp"
@@ -65,12 +66,16 @@ class Vi {
   }
 
   /// Sends a message; resolves when every fragment is handed to the adapter
-  /// (wire transfer continues asynchronously).
+  /// (wire transfer continues asynchronously). The vector overload adopts
+  /// the bytes into the pool with no copy; fragments alias the slice.
   sim::Task<> send(std::vector<std::byte> data, std::uint64_t immediate = 0);
+  sim::Task<> send(buf::Slice data, std::uint64_t immediate = 0);
 
   /// Remote-memory write into the peer's registered region. Zero-copy on the
   /// user path: the single copy happens in the peer's receive interrupt.
   sim::Task<> rma_write(std::vector<std::byte> data, const MemToken& token,
+                        std::uint64_t offset = 0);
+  sim::Task<> rma_write(buf::Slice data, const MemToken& token,
                         std::uint64_t offset = 0);
 
   /// Blocks until the next receive completion and charges the user-level
@@ -106,7 +111,7 @@ class Vi {
 
   struct Reassembly {
     std::uint32_t msg_id = 0;
-    std::vector<std::byte> buf;
+    buf::Buffer buf;  ///< pooled landing zone; released into the completion
     std::uint32_t frags_seen = 0;
     std::uint32_t nfrags = 0;
     std::uint64_t immediate = 0;

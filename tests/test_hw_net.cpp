@@ -6,6 +6,7 @@
 #include <cstring>
 #include <vector>
 
+#include "buf/pool.hpp"
 #include "hw/cpu.hpp"
 #include "hw/nic.hpp"
 #include "hw/node.hpp"
@@ -42,10 +43,10 @@ TEST(Crc32, EmptyIsZero) {
 
 TEST(Frame, ChecksumDetectsBitFlip) {
   net::Frame f;
-  f.payload = bytes_of("hello mesh");
+  f.payload = buf::Pool::instance().adopt(bytes_of("hello mesh"));
   f.stamp_checksum();
   EXPECT_TRUE(f.checksum_ok());
-  f.payload[3] ^= std::byte{0x01};
+  f.corrupt_payload_byte(3, std::byte{0x01});
   EXPECT_FALSE(f.checksum_ok());
 }
 
@@ -111,7 +112,7 @@ TEST(SimplexPipe, CorruptionBreaksChecksum) {
   bool ok = true;
   pipe.set_sink([&](net::Frame f) { ok = f.checksum_ok(); });
   net::Frame f;
-  f.payload = bytes_of("payload-bytes");
+  f.payload = buf::Pool::instance().adopt(bytes_of("payload-bytes"));
   f.wire_bytes = static_cast<std::int64_t>(f.payload.size());
   f.stamp_checksum();
   pipe.send(std::move(f));
@@ -212,7 +213,8 @@ net::Frame make_frame(int bytes, net::NodeId src = 0, net::NodeId dst = 1) {
   net::Frame f;
   f.src = src;
   f.dst = dst;
-  f.payload.assign(static_cast<std::size_t>(bytes), std::byte{0xab});
+  f.payload = buf::Pool::instance().adopt(
+      std::vector<std::byte>(static_cast<std::size_t>(bytes), std::byte{0xab}));
   f.wire_bytes = bytes + 28;  // typical protocol header
   return f;
 }
