@@ -7,6 +7,8 @@
 
 #include "flt/fault.hpp"
 #include "mpi/mpi.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace benchutil {
 
@@ -25,7 +27,13 @@ std::int64_t host_now_ns() {
 // --------------------------------------------------------------------------
 
 BenchReport::BenchReport(std::string name)
-    : name_(std::move(name)), start_ns_(host_now_ns()) {}
+    : name_(std::move(name)), start_ns_(host_now_ns()) {
+  // Fresh metrics for this bench only (a process may run several harnesses
+  // before the report is constructed), and honour MESHMP_TRACE if the tracer
+  // is compiled in.
+  obs::Registry::instance().reset();
+  obs::trace_init_from_env();
+}
 
 double BenchReport::host_seconds() const {
   return static_cast<double>(host_now_ns() - start_ns_) * 1e-9;
@@ -53,10 +61,16 @@ BenchReport::~BenchReport() {
     }
     std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  // Full registry view (live + retired): per-layer counters and histogram
+  // summaries travel with the modeled rows so regressions in *why* numbers
+  // moved are diffable, not just the numbers themselves.
+  const std::string metrics = obs::Registry::instance().snapshot().to_json(2);
+  std::fprintf(f, "  \"metrics\": %s\n}\n", metrics.c_str());
   std::fclose(f);
   std::printf("# host wall-clock: %.3f s (-> %s)\n", host_seconds(),
               path.c_str());
+  obs::trace_flush_env();
 }
 
 namespace {

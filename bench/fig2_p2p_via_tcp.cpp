@@ -12,6 +12,7 @@
 
 int main() {
   using namespace benchutil;
+  BenchReport report("fig2_p2p_via_tcp");
 
   std::printf("# Figure 2: M-VIA vs TCP point-to-point (one GigE link)\n");
   std::printf("# latency in us (half round trip), bandwidth in MB/s\n");
@@ -32,6 +33,13 @@ int main() {
     std::printf("%10lld %12.2f %12.2f %12.2f %12.2f %12.2f %12.2f\n",
                 static_cast<long long>(s), via_lat, tcp_lat, via_pp, tcp_pp,
                 via_sim, tcp_sim);
+    report.add_row({{"bytes", static_cast<double>(s)},
+                    {"via_rtt2_us", via_lat},
+                    {"tcp_rtt2_us", tcp_lat},
+                    {"via_pp_bw", via_pp},
+                    {"tcp_pp_bw", tcp_pp},
+                    {"via_sim_bw", via_sim},
+                    {"tcp_sim_bw", tcp_sim}});
   }
 
   const double small = via_rtt2_us(64);

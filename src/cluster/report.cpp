@@ -40,6 +40,7 @@ ClusterReport make_report(GigeMeshCluster& cluster) {
     }
   }
   r.avg_cpu_utilization /= static_cast<double>(cluster.size());
+  r.metrics = obs::Registry::instance().snapshot_live();
   return r;
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "cluster/gige_mesh.hpp"
+#include "obs/metrics.hpp"
 
 namespace meshmp::cluster {
 
@@ -30,6 +31,11 @@ struct ClusterReport {
   std::int64_t unreachable_drops = 0;   ///< frames with no usable egress
   std::int64_t ttl_expired = 0;         ///< frames that ran out of hops
   std::int64_t vi_failures = 0;         ///< VIs whose retry budget ran out
+
+  /// Full metrics-registry view at snapshot time: every live counter group
+  /// plus latency/size histogram summaries (p50/p95/p99). The scalar fields
+  /// above stay as convenient named aggregates; this carries everything else.
+  obs::Snapshot metrics;
 
   /// Multi-line human-readable rendering.
   [[nodiscard]] std::string str() const;

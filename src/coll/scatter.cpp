@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace meshmp::coll {
 
 using sim::Task;
@@ -194,23 +196,33 @@ struct Participant {
   }
 
   Task<> worker(sim::Queue<std::vector<std::byte>>& work) {
+    [[maybe_unused]] std::int32_t trk = -1;
+    MESHMP_TRACE_TRACK(trk, ep.rank(), "coll");
     sim::TaskGroup group(ep.engine());
     // Own emissions first (FCFS / region order fixed by the plan)...
-    for (auto& [next, msg] : emissions) {
-      if (single_port) {
-        co_await transmit(next, std::move(msg));
-      } else {
-        group.add(transmit(next, std::move(msg)));
+    if (!emissions.empty()) {
+      MESHMP_TRACE_SCOPE_ARG(ep.engine(), obs::Cat::kColl, ep.rank(), trk,
+                             "emit_phase", "msgs", emissions.size());
+      for (auto& [next, msg] : emissions) {
+        if (single_port) {
+          co_await transmit(next, std::move(msg));
+        } else {
+          group.add(transmit(next, std::move(msg)));
+        }
       }
     }
     // ...then everything passing through.
-    for (int i = 0; i < forward_count; ++i) {
-      std::vector<std::byte> msg = co_await work.pop();
-      const topo::Rank next = advance(t, ep.rank(), msg);
-      if (single_port) {
-        co_await transmit(next, std::move(msg));
-      } else {
-        group.add(transmit(next, std::move(msg)));
+    if (forward_count > 0) {
+      MESHMP_TRACE_SCOPE_ARG(ep.engine(), obs::Cat::kColl, ep.rank(), trk,
+                             "forward_phase", "msgs", forward_count);
+      for (int i = 0; i < forward_count; ++i) {
+        std::vector<std::byte> msg = co_await work.pop();
+        const topo::Rank next = advance(t, ep.rank(), msg);
+        if (single_port) {
+          co_await transmit(next, std::move(msg));
+        } else {
+          group.add(transmit(next, std::move(msg)));
+        }
       }
     }
     if (single_port) co_await drain_outstanding();
@@ -270,6 +282,10 @@ Task<std::vector<std::byte>> scatter(
     ScatterAlg alg) {
   const topo::Torus& t = ep.agent().torus();
   const topo::Rank me = ep.rank();
+  [[maybe_unused]] std::int32_t trk = -1;
+  MESHMP_TRACE_TRACK(trk, me, "coll");
+  MESHMP_TRACE_SCOPE_ARG(ep.engine(), obs::Cat::kColl, me, trk, "scatter",
+                         "root", root);
   const ScatterPlan plan = make_scatter_plan(t, root, alg);
 
   Participant part(ep, t, tag, alg == ScatterAlg::kSdf);
@@ -312,6 +328,10 @@ Task<std::vector<std::vector<std::byte>>> gather(mp::Endpoint& ep,
                                                  int tag, ScatterAlg alg) {
   const topo::Torus& t = ep.agent().torus();
   const topo::Rank me = ep.rank();
+  [[maybe_unused]] std::int32_t trk = -1;
+  MESHMP_TRACE_TRACK(trk, me, "coll");
+  MESHMP_TRACE_SCOPE_ARG(ep.engine(), obs::Cat::kColl, me, trk, "gather",
+                         "root", root);
   // Reverse of the scatter plan: each contribution walks the scatter route
   // backwards (so the OPT variant keeps its region/streamline structure).
   const ScatterPlan plan = make_scatter_plan(t, root, alg);
@@ -364,6 +384,10 @@ Task<std::vector<std::vector<std::byte>>> alltoall(
   if (chunks.size() != static_cast<std::size_t>(t.size())) {
     throw std::invalid_argument("alltoall: need size() chunks");
   }
+  [[maybe_unused]] std::int32_t trk = -1;
+  MESHMP_TRACE_TRACK(trk, me, "coll");
+  MESHMP_TRACE_SCOPE_ARG(ep.engine(), obs::Cat::kColl, me, trk, "alltoall",
+                         "ranks", t.size());
 
   // All size() simultaneous scatters share the wires; multi-port transport
   // regardless of the route-planning algorithm (the paper parallelizes the

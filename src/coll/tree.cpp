@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "buf/pool.hpp"
+#include "obs/trace.hpp"
 #include "topo/spanning_tree.hpp"
 
 namespace meshmp::coll {
@@ -23,6 +24,10 @@ Task<> broadcast(mp::Endpoint& ep, topo::Rank root,
                  std::vector<std::byte>& data, int tag) {
   const topo::Torus& t = ep.agent().torus();
   const topo::Rank me = ep.rank();
+  [[maybe_unused]] std::int32_t trk = -1;
+  MESHMP_TRACE_TRACK(trk, me, "coll");
+  MESHMP_TRACE_SCOPE_ARG(ep.engine(), obs::Cat::kColl, me, trk, "broadcast",
+                         "bytes", data.size());
   if (auto parent = topo::bcast_parent(t, root, me)) {
     mp::Message msg = co_await ep.recv(static_cast<int>(*parent), tag);
     data = std::move(msg.data);
@@ -44,6 +49,10 @@ Task<> reduce(mp::Endpoint& ep, topo::Rank root, std::vector<std::byte>& data,
               const ReduceOp& op, int tag) {
   const topo::Torus& t = ep.agent().torus();
   const topo::Rank me = ep.rank();
+  [[maybe_unused]] std::int32_t trk = -1;
+  MESHMP_TRACE_TRACK(trk, me, "coll");
+  MESHMP_TRACE_SCOPE_ARG(ep.engine(), obs::Cat::kColl, me, trk, "reduce",
+                         "bytes", data.size());
   auto& cpu = ep.agent().node().cpu();
   // Receive partials from every child (any arrival order), combine, pass on.
   const auto kids = topo::bcast_children(t, root, me);

@@ -7,13 +7,14 @@
 namespace meshmp::hw {
 
 Nic::Nic(Cpu& cpu, sim::Resource& bus, NicParams params, net::LinkParams wire,
-         sim::Rng rng, std::string name)
+         sim::Rng rng, std::string name, net::NodeId node)
     : cpu_(cpu),
       bus_(bus),
       params_(params),
       wire_(wire),
       rng_(rng),
       name_(std::move(name)),
+      node_(node),
       tx_ring_(cpu.engine()),
       tx_space_(cpu.engine()),
       tx_fifo_(cpu.engine()),
@@ -21,7 +22,12 @@ Nic::Nic(Cpu& cpu, sim::Resource& bus, NicParams params, net::LinkParams wire,
       rx_ring_(cpu.engine()),
       stall_cleared_(cpu.engine()),
       audit_reg_(chk::Audit::instance().watch("hw.nic." + name_,
-                                              [this] { audit_quiesce(); })) {
+                                              [this] { audit_quiesce(); })),
+      metrics_reg_(obs::Registry::instance().attach("hw.nic", &counters_)),
+      rx_batch_hist_(
+          obs::Registry::instance().histogram("hw.nic.rx_batch_frames")),
+      tx_wire_hist_(
+          obs::Registry::instance().histogram("hw.nic.tx_wire_bytes")) {
   dma_task_ = dma_pump();
   wire_task_ = wire_pump();
 }
@@ -119,6 +125,9 @@ sim::Task<> Nic::qdisc_pump() {
 sim::Task<> Nic::dma_pump() {
   for (;;) {
     net::Frame f = co_await tx_ring_.pop();
+    MESHMP_TRACE_TRACK(trk_dma_, node_, name_ + ".dma");
+    MESHMP_TRACE_SCOPE_ARG(cpu_.engine(), obs::Cat::kNic, node_, trk_dma_,
+                           "dma", "wire_bytes", f.wire_bytes);
     co_await tx_fifo_slots_.acquire();
     // Descriptor DMA across the shared PCI-X bus; bus holds are serialized,
     // so concurrent adapters share its bandwidth.
@@ -141,16 +150,23 @@ sim::Task<> Nic::dma_pump() {
 sim::Task<> Nic::wire_pump() {
   for (;;) {
     net::Frame f = co_await tx_fifo_.pop();
+    tx_wire_hist_.add(f.wire_bytes);
+    MESHMP_TRACE_TRACK(trk_wire_, node_, name_ + ".wire");
+    MESHMP_TRACE_SCOPE_ARG(cpu_.engine(), obs::Cat::kNic, node_, trk_wire_,
+                           "serialize", "wire_bytes", f.wire_bytes);
     while (stalled_) co_await stall_cleared_.next();
     co_await sim::delay(cpu_.engine(), wire_time(f.wire_bytes));
     tx_fifo_slots_.release();
     if (!carrier_) {
       // Dead cable: the PHY clocks the frame out into nothing.
       counters_.inc("carrier_dropped");
+      MESHMP_TRACE_INSTANT(cpu_.engine(), obs::Cat::kNic, node_,
+                           "carrier_drop");
       continue;
     }
     if (wire_.drop_prob > 0 && rng_.bernoulli(wire_.drop_prob)) {
       counters_.inc("wire_dropped");
+      MESHMP_TRACE_INSTANT(cpu_.engine(), obs::Cat::kNic, node_, "wire_drop");
       continue;
     }
     if (wire_.corrupt_prob > 0 && !f.payload.empty() &&
@@ -173,10 +189,14 @@ void Nic::receive(net::Frame f) {
   }
   if (params_.hw_checksum && !f.payload.empty() && !f.checksum_ok()) {
     counters_.inc("rx_checksum_drop");
+    MESHMP_TRACE_INSTANT(cpu_.engine(), obs::Cat::kNic, node_,
+                         "rx_checksum_drop");
     return;
   }
   if (rx_queued_ >= params_.rx_descriptors) {
     counters_.inc("rx_ring_full");
+    MESHMP_TRACE_INSTANT(cpu_.engine(), obs::Cat::kNic, node_,
+                         "rx_ring_full");
     return;
   }
   ++rx_queued_;
@@ -196,18 +216,23 @@ void Nic::arm_interrupt() {
 sim::Task<> Nic::drain_rx(IsrContext& ctx) {
   // Drain everything in the ring, including frames that arrive while the
   // handler is running (batching under load).
+  std::int64_t batch = 0;
   while (auto f = rx_ring_.try_pop()) {
     --rx_queued_;
+    ++batch;
     if (driver_ != nullptr) {
       co_await driver_->handle_rx(std::move(*f), ctx);
     }
   }
+  rx_batch_hist_.add(batch);
 }
 
 sim::Task<> Nic::isr() {
   co_await cpu_.acquire(Cpu::kIrq);
   counters_.inc("interrupts");
   irq_armed_ = false;
+  MESHMP_TRACE_TRACK(trk_irq_, node_, name_ + ".irq");
+  MESHMP_TRACE_SCOPE(cpu_.engine(), obs::Cat::kNic, node_, trk_irq_, "isr");
   co_await sim::delay(cpu_.engine(), cpu_.host().isr_entry);
   IsrContext ctx(cpu_.engine(), cpu_.host());
   co_await drain_rx(ctx);
@@ -230,8 +255,13 @@ sim::Task<> Nic::napi_poll() {
     }
     co_await cpu_.acquire(Cpu::kIrq);
     counters_.inc("napi_polls");
-    IsrContext ctx(cpu_.engine(), cpu_.host());
-    co_await drain_rx(ctx);
+    {
+      MESHMP_TRACE_TRACK(trk_irq_, node_, name_ + ".irq");
+      MESHMP_TRACE_SCOPE(cpu_.engine(), obs::Cat::kNic, node_, trk_irq_,
+                         "napi_poll");
+      IsrContext ctx(cpu_.engine(), cpu_.host());
+      co_await drain_rx(ctx);
+    }
     cpu_.release();
   }
 }

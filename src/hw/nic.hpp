@@ -22,6 +22,8 @@
 #include "hw/params.hpp"
 #include "net/frame.hpp"
 #include "net/link.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
@@ -67,9 +69,10 @@ class NicDriver {
 class Nic {
  public:
   /// `bus` is the node's shared PCI resource (may be shared by several
-  /// adapters); `wire` describes the attached cable.
+  /// adapters); `wire` describes the attached cable. `node` is the owning
+  /// node's id, used to group trace spans per node.
   Nic(Cpu& cpu, sim::Resource& bus, NicParams params, net::LinkParams wire,
-      sim::Rng rng, std::string name);
+      sim::Rng rng, std::string name, net::NodeId node = 0);
   Nic(const Nic&) = delete;
   Nic& operator=(const Nic&) = delete;
 
@@ -120,6 +123,7 @@ class Nic {
   [[nodiscard]] const NicParams& params() const noexcept { return params_; }
   [[nodiscard]] net::LinkParams& wire_params() noexcept { return wire_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] net::NodeId node() const noexcept { return node_; }
 
   /// Wire time for a frame of the given modelled size.
   [[nodiscard]] sim::Duration wire_time(std::int64_t wire_bytes) const;
@@ -143,6 +147,7 @@ class Nic {
   net::LinkParams wire_;
   sim::Rng rng_;
   std::string name_;
+  net::NodeId node_;
 
   std::function<void(net::Frame)> peer_;
   NicDriver* driver_ = nullptr;
@@ -169,6 +174,14 @@ class Nic {
 
   sim::Counters counters_;
   chk::Audit::Registration audit_reg_;
+  obs::Registry::Registration metrics_reg_;
+  obs::Histogram& rx_batch_hist_;  ///< frames drained per ISR/NAPI pass
+  obs::Histogram& tx_wire_hist_;   ///< modelled wire bytes per tx frame
+  // Lazily interned trace tracks (one per pipeline stage; the stages are
+  // sequential coroutines, so spans on a track never overlap).
+  std::int32_t trk_dma_ = -1;
+  std::int32_t trk_wire_ = -1;
+  std::int32_t trk_irq_ = -1;
 
   // The pump coroutines are owned (not detached) so teardown frees their
   // frames; they must be the last members, destroyed before anything they

@@ -34,7 +34,7 @@ class NodeHw {
     params.dma_bytes_per_sec =
         std::min(params.dma_bytes_per_sec, bus_params_.bytes_per_sec);
     nics_.push_back(
-        std::make_unique<Nic>(cpu_, bus_, params, wire, rng, name));
+        std::make_unique<Nic>(cpu_, bus_, params, wire, rng, name, id_));
     return *nics_.back();
   }
 

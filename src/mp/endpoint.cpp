@@ -13,11 +13,25 @@ namespace meshmp::mp {
 using hw::Cpu;
 using sim::Task;
 
+namespace {
+
+/// Unique id for an mp-layer async trace span (rank + per-endpoint counter).
+[[maybe_unused]] std::uint64_t mp_span_id(int rank, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)) << 40) |
+         (seq & 0xff'ffff'ffffull);
+}
+
+}  // namespace
+
 Endpoint::Endpoint(via::KernelAgent& agent, CoreParams params)
     : agent_(agent),
       params_(params),
       audit_reg_(chk::Audit::instance().watch("mp.endpoint",
-                                              [this] { audit_quiesce(); })) {
+                                              [this] { audit_quiesce(); })),
+      metrics_reg_(
+          obs::Registry::instance().attach("mp.endpoint", &counters_)),
+      eager_bytes_hist_(obs::Registry::instance().histogram("mp.eager_bytes")),
+      rndv_bytes_hist_(obs::Registry::instance().histogram("mp.rndv_bytes")) {
   unexpected_arrived_ = std::make_unique<sim::Signal>(engine());
   agent_.listen(params_.service);
   accept_task_ = accept_loop();
@@ -202,6 +216,11 @@ Task<SendStatus> Endpoint::send(int dst, int tag, buf::Slice data) {
   }
 
   if (size < params_.eager_threshold) {
+    eager_bytes_hist_.add(size);
+    [[maybe_unused]] const std::uint64_t span =
+        mp_span_id(rank(), ++trace_send_seq_);
+    MESHMP_TRACE_ASYNC_SCOPE(engine(), obs::Cat::kMp, rank(), "eager_send",
+                             span);
     if (!co_await take_token(ch)) {
       counters_.inc("send_unreachable");
       co_return SendStatus::kUnreachable;
@@ -225,6 +244,10 @@ Task<SendStatus> Endpoint::send(int dst, int tag, buf::Slice data) {
 
   // Rendezvous: announce, wait for the receiver's RTR (sender-side matched
   // by id), RMA-write, FIN.
+  rndv_bytes_hist_.add(size);
+  [[maybe_unused]] const std::uint64_t span =
+      mp_span_id(rank(), ++trace_send_seq_);
+  MESHMP_TRACE_ASYNC_SCOPE(engine(), obs::Cat::kMp, rank(), "rndv_send", span);
   const std::uint32_t id = (next_rndv_id_++ & 0xffffffu);
   auto pr = std::make_shared<PendingRndvSend>();
   pr->data = std::move(data);
@@ -389,10 +412,14 @@ Task<> Endpoint::handle_eager(int src, int tag, std::vector<std::byte> data) {
   u.data = std::move(data);
   unexpected_.push_back(std::move(u));
   counters_.inc("unexpected_eager");
+  MESHMP_TRACE_INSTANT_ARG(engine(), obs::Cat::kMp, rank(), "unexpected_eager",
+                           "src", src);
   unexpected_arrived_->notify_all();
 }
 
 Task<> Endpoint::handle_rts(int src, const RtsBody& rts) {
+  MESHMP_TRACE_INSTANT_ARG(engine(), obs::Cat::kMp, rank(), "rts_rx", "bytes",
+                           rts.size);
   if (auto posted = match_posted(src, rts.tag)) {
     co_await issue_rtr(posted, src, rts.id, rts.size, rts.tag);
     co_return;
@@ -450,6 +477,8 @@ Task<> Endpoint::issue_rtr(std::shared_ptr<PostedRecv> posted, int src,
 }
 
 Task<> Endpoint::handle_fin(int src, std::uint32_t id) {
+  MESHMP_TRACE_INSTANT_ARG(engine(), obs::Cat::kMp, rank(), "fin_rx", "src",
+                           src);
   auto it = rndv_recv_.find(rndv_key(src, id));
   if (it == rndv_recv_.end()) {
     counters_.inc("fin_unmatched");

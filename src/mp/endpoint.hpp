@@ -30,6 +30,8 @@
 #include "chk/audit.hpp"
 #include "mp/params.hpp"
 #include "mp/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/stats.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -215,6 +217,10 @@ class Endpoint {
 
   sim::Counters counters_;
   chk::Audit::Registration audit_reg_;
+  obs::Registry::Registration metrics_reg_;
+  obs::Histogram& eager_bytes_hist_;  ///< eager-path send sizes
+  obs::Histogram& rndv_bytes_hist_;   ///< rendezvous-path send sizes
+  std::uint64_t trace_send_seq_ = 0;  ///< async span ids for send phases
 
   // Service coroutines are owned (not detached) so endpoint teardown frees
   // their frames; last members, destroyed before anything they reference.

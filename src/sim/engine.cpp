@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "chk/digest.hpp"
+#include "obs/trace.hpp"
 
 namespace meshmp::sim {
 
@@ -52,6 +53,10 @@ void Engine::dispatch(Event ev) {
   }
   now_ = ev.when;
   ++executed_;
+  // Per-dispatch events live in the (default-masked) kSim category: they are
+  // the finest-grained view of the run and evict everything else when on.
+  MESHMP_TRACE_INSTANT_ARG(*this, obs::Cat::kSim, obs::kEnginePid, ev.label,
+                           "seq", ev.seq);
   ev.fn();
 }
 

@@ -6,8 +6,8 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
-#include <string>
-#include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace meshmp::sim {
 
@@ -48,32 +48,9 @@ class Stat {
 };
 
 /// Monotone counters keyed by short names (drops, retransmits, interrupts...).
-class Counters {
- public:
-  void inc(const std::string& key, std::int64_t by = 1) {
-    for (auto& [k, v] : items_) {
-      if (k == key) {
-        v += by;
-        return;
-      }
-    }
-    items_.emplace_back(key, by);
-  }
-
-  [[nodiscard]] std::int64_t get(const std::string& key) const {
-    for (const auto& [k, v] : items_) {
-      if (k == key) return v;
-    }
-    return 0;
-  }
-
-  [[nodiscard]] const std::vector<std::pair<std::string, std::int64_t>>& items()
-      const noexcept {
-    return items_;
-  }
-
- private:
-  std::vector<std::pair<std::string, std::int64_t>> items_;
-};
+/// Alias of the observability layer's sorted flat map (O(log n) per inc, and
+/// deterministically ordered items() for snapshots); components attach these
+/// to obs::Registry to feed report/bench metrics.
+using Counters = obs::Counters;
 
 }  // namespace meshmp::sim

@@ -1,8 +1,10 @@
 #include "tcpstack/socket.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "buf/copy.hpp"
+#include "obs/trace.hpp"
 #include "tcpstack/stack.hpp"
 
 namespace meshmp::tcpstack {
@@ -13,7 +15,8 @@ TcpSocket::TcpSocket(TcpStack& stack, std::uint32_t id)
       conn_done_(stack.node().cpu().engine()),
       window_open_(stack.node().cpu().engine()),
       send_lock_(stack.node().cpu().engine(), 1),
-      rx_ready_(stack.node().cpu().engine()) {}
+      rx_ready_(stack.node().cpu().engine()),
+      metrics_reg_(obs::Registry::instance().attach("tcp.sock", &counters_)) {}
 
 sim::Task<> TcpSocket::send(std::vector<std::byte> data) {
   auto& cpu = stack_.node().cpu();
@@ -23,6 +26,11 @@ sim::Task<> TcpSocket::send(std::vector<std::byte> data) {
 
 sim::Task<std::vector<std::byte>> TcpSocket::recv(std::int64_t max_bytes) {
   auto& cpu = stack_.node().cpu();
+  MESHMP_TRACE_TRACK(trk_, stack_.node_id(), "sock" + std::to_string(id_));
+  // Covers the blocked interval while the stream is empty plus the
+  // kernel->user copy — the receive-side cost the paper's TCP baseline pays.
+  MESHMP_TRACE_SCOPE(cpu.engine(), obs::Cat::kTcp, stack_.node_id(), trk_,
+                     "tcp.recv_wait");
   co_await cpu.busy(cpu.host().syscall, hw::Cpu::kUser);
   while (sockbuf_head_ == sockbuf_.size()) {
     co_await rx_ready_.next();

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/frame.hpp"
+#include "obs/metrics.hpp"
 #include "sim/stats.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -79,6 +80,8 @@ class TcpSocket {
   sim::Signal rx_ready_;
 
   sim::Counters counters_;
+  obs::Registry::Registration metrics_reg_;
+  std::int32_t trk_ = -1;  ///< per-socket trace track
 };
 
 }  // namespace meshmp::tcpstack

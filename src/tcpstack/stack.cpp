@@ -19,7 +19,10 @@ TcpStack::TcpStack(hw::NodeHw& node, const topo::Torus& torus,
       torus_(torus),
       me_(mesh_rank),
       my_coord_(torus.coord(mesh_rank)),
-      params_(params) {}
+      params_(params),
+      metrics_reg_(obs::Registry::instance().attach("tcp.stack", &counters_)),
+      rx_seg_bytes_hist_(
+          obs::Registry::instance().histogram("tcp.rx_seg_bytes")) {}
 
 TcpStack::~TcpStack() = default;
 
@@ -99,6 +102,9 @@ Task<> TcpStack::stream_out(TcpSocket& s, std::vector<std::byte> data) {
   // the *modeled* user->skb copy per segment has no host-side counterpart.
   const buf::Slice whole = buf::Pool::instance().adopt(std::move(data));
 
+  MESHMP_TRACE_TRACK(s.trk_, me_, "sock" + std::to_string(s.id()));
+  MESHMP_TRACE_SCOPE_ARG(node_.cpu().engine(), obs::Cat::kTcp, me_, s.trk_,
+                         "tcp.stream_out", "bytes", total);
   co_await s.send_lock_.acquire();
   hw::Nic& nic = egress_for(s.remote_node_);
   std::int64_t off = 0;
@@ -145,6 +151,8 @@ Task<> TcpStack::handle_rx(net::Frame frame, hw::IsrContext& ctx) {
   const auto& hp = node_.cpu().host();
   if (frame.dst != me_) {
     counters_.inc("fwd_frames");
+    MESHMP_TRACE_INSTANT_ARG(node_.cpu().engine(), obs::Cat::kTcp, me_,
+                             "tcp.fwd", "dst", frame.dst);
     co_await ctx.spend(hp.tcp_forward_per_frame);
     kernel_post(std::move(frame));
     co_return;
@@ -183,6 +191,9 @@ Task<> TcpStack::handle_rx(net::Frame frame, hw::IsrContext& ctx) {
 Task<> TcpStack::rx_data(TcpSocket& s, const TcpHeader& h, net::Frame& f,
                          hw::IsrContext& ctx) {
   const auto& hp = node_.cpu().host();
+  MESHMP_TRACE_TRACK(trk_rx_, me_, "tcp.rx");
+  MESHMP_TRACE_SCOPE_ARG(node_.cpu().engine(), obs::Cat::kTcp, me_, trk_rx_,
+                         "tcp.rx_data", "bytes", f.payload.size());
   co_await ctx.spend(hp.tcp_rx_per_frame);
   // Software checksum over the payload (no receive offload in this era).
   co_await ctx.spend(sim::transfer_time(
@@ -190,10 +201,13 @@ Task<> TcpStack::rx_data(TcpSocket& s, const TcpHeader& h, net::Frame& f,
 
   if (h.seq != s.expected_rx_seq_) {
     s.counters_.inc("rx_out_of_order");
+    MESHMP_TRACE_INSTANT_ARG(node_.cpu().engine(), obs::Cat::kTcp, me_,
+                             "tcp.rx_out_of_order", "seq", h.seq);
     send_ack(s);  // dup-ack so the peer's go-back-N converges
     co_return;
   }
   s.expected_rx_seq_ += static_cast<std::uint64_t>(f.payload.size());
+  rx_seg_bytes_hist_.add(static_cast<std::int64_t>(f.payload.size()));
   const bool was_empty = s.sockbuf_head_ == s.sockbuf_.size();
   s.sockbuf_.insert(s.sockbuf_.end(), f.payload.begin(), f.payload.end());
   if (was_empty) {
@@ -309,6 +323,8 @@ Task<> TcpStack::retx_timer_loop(std::uint32_t conn) {
       break;
     }
     s.counters_.inc("retransmits");
+    MESHMP_TRACE_INSTANT_ARG(eng, obs::Cat::kTcp, me_, "tcp.retransmit",
+                             "segs", s.unacked_.size());
     co_await node_.cpu().busy(
         hp.tcp_tx_per_frame * static_cast<sim::Duration>(s.unacked_.size()),
         Cpu::kKernel);

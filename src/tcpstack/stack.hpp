@@ -13,6 +13,8 @@
 #include "buf/pool.hpp"
 #include "hw/nic.hpp"
 #include "hw/node.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/stats.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -87,6 +89,9 @@ class TcpStack final : public hw::NicDriver {
       accept_queues_;
 
   sim::Counters counters_;
+  obs::Registry::Registration metrics_reg_;
+  obs::Histogram& rx_seg_bytes_hist_;  ///< in-order data segment payloads
+  std::int32_t trk_rx_ = -1;           ///< trace track for the rx/ISR side
 };
 
 }  // namespace meshmp::tcpstack

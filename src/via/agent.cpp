@@ -60,7 +60,9 @@ KernelAgent::KernelAgent(hw::NodeHw& node, const topo::Torus& torus,
                                std::to_string(kcolls_.size()) +
                                " kernel collective(s) unreaped at quiesce");
         }
-      })) {}
+      })),
+      metrics_reg_(obs::Registry::instance().attach("via.agent", &counters_)),
+      ack_rtt_hist_(obs::Registry::instance().histogram("via.ack_rtt_ns")) {}
 
 KernelAgent::~KernelAgent() = default;
 
@@ -281,6 +283,7 @@ Task<> KernelAgent::transmit_message(Vi& vi, MsgKind kind, buf::Slice data,
 
 Task<> KernelAgent::handle_rx(net::Frame frame, hw::IsrContext& ctx) {
   const auto& hp = node_.cpu().host();
+  MESHMP_TRACE_TRACK(trk_rx_, me_, "agent.rx");
 
   if (frame.dst != me_) {
     // Kernel-level packet switching: pick the SDF egress adapter and re-post
@@ -293,6 +296,8 @@ Task<> KernelAgent::handle_rx(net::Frame frame, hw::IsrContext& ctx) {
     }
     --frame.ttl;
     counters_.inc("fwd_frames");
+    MESHMP_TRACE_SCOPE_ARG(ctx.engine(), obs::Cat::kVia, me_, trk_rx_, "fwd",
+                           "dst", frame.dst);
     co_await ctx.spend(hp.via_forward_per_frame);
     kernel_post(std::move(frame));
     co_return;
@@ -315,6 +320,8 @@ Task<> KernelAgent::handle_rx(net::Frame frame, hw::IsrContext& ctx) {
         counters_.inc("rx_bad_vi");
         co_return;
       }
+      MESHMP_TRACE_SCOPE(ctx.engine(), obs::Cat::kVia, me_, trk_rx_,
+                         "rx_ack");
       rx_ack(*vis_[h->dst_vi], *h);
       co_await ctx.spend(300);  // ack bookkeeping
       co_return;
@@ -376,6 +383,8 @@ bool KernelAgent::reliable_accept(Vi& vi, const ViaHeader& h) {
 Task<> KernelAgent::rx_data(Vi& vi, const ViaHeader& h, net::Frame& f,
                             hw::IsrContext& ctx) {
   const auto& hp = node_.cpu().host();
+  MESHMP_TRACE_SCOPE_ARG(ctx.engine(), obs::Cat::kVia, me_, trk_rx_,
+                         "rx_data", "frag", h.frag);
   co_await ctx.spend(hp.via_rx_per_frame);
   if (!reliable_accept(vi, h)) co_return;
 
@@ -396,11 +405,17 @@ Task<> KernelAgent::rx_data(Vi& vi, const ViaHeader& h, net::Frame& f,
                vi.recv_descs_.front()) {
       vi.recv_descs_.pop_front();
       ++vi.descs_consumed_total_;
+      MESHMP_TRACE_ASYNC_END(
+          ctx.engine(), obs::Cat::kVia, me_, "vi.desc",
+          desc_trace_id(me_, vi.id(), vi.descs_consumed_total_));
       r.dropping = true;
       vi.counters_.inc("rx_descriptor_too_small");
     } else {
       vi.recv_descs_.pop_front();
       ++vi.descs_consumed_total_;
+      MESHMP_TRACE_ASYNC_END(
+          ctx.engine(), obs::Cat::kVia, me_, "vi.desc",
+          desc_trace_id(me_, vi.id(), vi.descs_consumed_total_));
       r.buf = buf::Pool::instance().get(h.msg_bytes);
     }
   }
@@ -434,6 +449,8 @@ Task<> KernelAgent::rx_data(Vi& vi, const ViaHeader& h, net::Frame& f,
 Task<> KernelAgent::rx_rma(Vi& vi, const ViaHeader& h, net::Frame& f,
                            hw::IsrContext& ctx) {
   const auto& hp = node_.cpu().host();
+  MESHMP_TRACE_SCOPE_ARG(ctx.engine(), obs::Cat::kVia, me_, trk_rx_, "rx_rma",
+                         "frag", h.frag);
   co_await ctx.spend(hp.via_rx_per_frame);
   if (!reliable_accept(vi, h)) co_return;
   const bool hot = static_cast<std::int64_t>(h.msg_bytes) <= hp.cache_bytes;
@@ -467,6 +484,9 @@ void KernelAgent::rx_ack(Vi& vi, const ViaHeader& h) {
     }
   }
   if (progress) {
+    // Ack RTT as seen by go-back-N: oldest-unacked send (or last progress)
+    // to the cumulative ack that moved the window.
+    ack_rtt_hist_.add(node_.cpu().engine().now() - vi.oldest_unacked_);
     vi.retries_ = 0;
     vi.oldest_unacked_ = node_.cpu().engine().now();
   }
@@ -546,6 +566,8 @@ void KernelAgent::fail_vi(Vi& vi, ViError err) {
   vi.error_ = err;
   vi.counters_.inc("failed");
   counters_.inc("vi_failures");
+  MESHMP_TRACE_INSTANT_ARG(node_.cpu().engine(), obs::Cat::kVia, me_,
+                           "vi_failed", "vi", vi.id());
   // Structured error completion: a receiver blocked in recv_completion()
   // wakes with status != kNone instead of hanging forever.
   RecvCompletion c;
@@ -663,6 +685,8 @@ Task<> KernelAgent::retx_timer_loop(std::uint32_t vi_id) {
     }
     // Go-back-N: retransmit the whole unacked window from kernel context.
     vi.counters_.inc("retransmits");
+    MESHMP_TRACE_INSTANT_ARG(eng, obs::Cat::kVia, me_, "retransmit", "window",
+                             vi.unacked_.size());
     co_await node_.cpu().busy(
         hp.via_tx_per_frame * static_cast<sim::Duration>(vi.unacked_.size()),
         Cpu::kKernel);

@@ -17,6 +17,8 @@
 
 #include "hw/nic.hpp"
 #include "hw/node.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/stats.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -174,6 +176,9 @@ class KernelAgent final : public hw::NicDriver {
 
   sim::Counters counters_;
   chk::Audit::Registration audit_reg_;
+  obs::Registry::Registration metrics_reg_;
+  obs::Histogram& ack_rtt_hist_;  ///< ns from oldest-unacked send to its ack
+  std::int32_t trk_rx_ = -1;      ///< "agent.rx" trace track (ISR-serialized)
 };
 
 }  // namespace meshmp::via

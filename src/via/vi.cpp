@@ -25,11 +25,16 @@ Vi::Vi(KernelAgent& agent, std::uint32_t id)
       send_lock_(agent.node().cpu().engine(), 1,
                  "vi" + std::to_string(id) + ".sendlock"),
       audit_reg_(chk::Audit::instance().watch("via.vi",
-                                              [this] { audit_quiesce(); })) {}
+                                              [this] { audit_quiesce(); })),
+      metrics_reg_(obs::Registry::instance().attach("via.vi", &counters_)),
+      msg_bytes_hist_(obs::Registry::instance().histogram("via.msg_bytes")) {}
 
 void Vi::post_recv(std::int64_t max_bytes) {
   ++descs_posted_total_;
   recv_descs_.push_back(max_bytes);
+  MESHMP_TRACE_ASYNC_BEGIN(
+      agent_.node().cpu().engine(), obs::Cat::kVia, agent_.node_id(),
+      "vi.desc", desc_trace_id(agent_.node_id(), id_, descs_posted_total_));
 }
 
 void Vi::audit_quiesce() const {
@@ -63,6 +68,11 @@ sim::Task<> Vi::send(std::vector<std::byte> data, std::uint64_t immediate) {
 }
 
 sim::Task<> Vi::send(buf::Slice data, std::uint64_t immediate) {
+  msg_bytes_hist_.add(static_cast<std::int64_t>(data.size()));
+  MESHMP_TRACE_TRACK(trk_, agent_.node_id(), "vi" + std::to_string(id_));
+  MESHMP_TRACE_SCOPE_ARG(agent_.node().cpu().engine(), obs::Cat::kVia,
+                         agent_.node_id(), trk_, "vi.send", "bytes",
+                         data.size());
   auto& cpu = agent_.node().cpu();
   co_await cpu.busy(cpu.host().via_post, hw::Cpu::kUser);
   co_await agent_.transmit_message(*this, MsgKind::kData, std::move(data),
@@ -77,6 +87,11 @@ sim::Task<> Vi::rma_write(std::vector<std::byte> data, const MemToken& token,
 
 sim::Task<> Vi::rma_write(buf::Slice data, const MemToken& token,
                           std::uint64_t offset) {
+  msg_bytes_hist_.add(static_cast<std::int64_t>(data.size()));
+  MESHMP_TRACE_TRACK(trk_, agent_.node_id(), "vi" + std::to_string(id_));
+  MESHMP_TRACE_SCOPE_ARG(agent_.node().cpu().engine(), obs::Cat::kVia,
+                         agent_.node_id(), trk_, "vi.rma_write", "bytes",
+                         data.size());
   auto& cpu = agent_.node().cpu();
   co_await cpu.busy(cpu.host().via_post, hw::Cpu::kUser);
   co_await agent_.transmit_message(*this, MsgKind::kRmaWrite, std::move(data),
@@ -84,6 +99,12 @@ sim::Task<> Vi::rma_write(buf::Slice data, const MemToken& token,
 }
 
 sim::Task<RecvCompletion> Vi::recv_completion() {
+  // The recv-wait span is the big one for trace coverage: it shows the
+  // simulated time this endpoint spent *blocked*, which on a ping-pong node
+  // is most of the run.
+  MESHMP_TRACE_TRACK(trk_, agent_.node_id(), "vi" + std::to_string(id_));
+  MESHMP_TRACE_SCOPE(agent_.node().cpu().engine(), obs::Cat::kVia,
+                     agent_.node_id(), trk_, "vi.recv_wait");
   RecvCompletion c = co_await completions_.pop();
   auto& cpu = agent_.node().cpu();
   co_await cpu.busy(cpu.host().via_completion, hw::Cpu::kUser);

@@ -17,6 +17,8 @@
 #include "buf/pool.hpp"
 #include "chk/audit.hpp"
 #include "net/frame.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/stats.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -34,6 +36,15 @@ enum class ViError : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(ViError e) noexcept;
+
+/// Stable id for a descriptor post→consume async trace span. Descriptors are
+/// consumed in post order (FIFO), so the running post/consume totals pair the
+/// begin and end events exactly.
+constexpr std::uint64_t desc_trace_id(net::NodeId node, std::uint32_t vi,
+                                      std::uint64_t n) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)) << 40) |
+         (static_cast<std::uint64_t>(vi & 0xfffffu) << 20) | (n & 0xfffffu);
+}
 
 /// A completed receive: the reassembled message plus its 64-bit immediate.
 /// When `status != kNone` this is an error completion: `data` is empty and
@@ -158,6 +169,9 @@ class Vi {
 
   sim::Counters counters_;
   chk::Audit::Registration audit_reg_;
+  obs::Registry::Registration metrics_reg_;
+  obs::Histogram& msg_bytes_hist_;  ///< message sizes entering send()
+  std::int32_t trk_ = -1;           ///< per-VI trace track ("vi<id>")
 };
 
 }  // namespace meshmp::via
