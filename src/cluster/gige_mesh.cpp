@@ -18,4 +18,33 @@ GigeMeshCluster::GigeMeshCluster(GigeMeshConfig cfg)
   }
 }
 
+void GigeMeshCluster::power_fail_node(topo::Rank r) {
+  if (!agent(r).powered()) return;
+  // Adapters first: anything the agent's failure callbacks try to transmit
+  // while unwinding is blackholed instead of escaping the dead host.
+  for (topo::Dir d : torus_.directions(torus_.coord(r))) {
+    nic(r, d).power_off();
+    // The cable is dead at both ends: the neighbour's port sees its link go
+    // down and its agent reroutes from the next frame on.
+    const auto n = torus_.neighbor(r, d);
+    nic(*n, d.opposite()).set_carrier(false);
+  }
+  agent(r).power_fail();
+  if (on_crash_) on_crash_(r);
+}
+
+void GigeMeshCluster::power_restore_node(topo::Rank r) {
+  if (agent(r).powered()) return;
+  // Epoch bumps before any port carries traffic, so every frame of the new
+  // incarnation is stamped with the new epoch.
+  agent(r).power_restore();
+  for (topo::Dir d : torus_.directions(torus_.coord(r))) {
+    nic(r, d).power_on();
+    nic(r, d).set_carrier(true);
+    const auto n = torus_.neighbor(r, d);
+    nic(*n, d.opposite()).set_carrier(true);
+  }
+  if (on_restart_) on_restart_(r);
+}
+
 }  // namespace meshmp::cluster

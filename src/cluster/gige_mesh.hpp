@@ -5,6 +5,7 @@
 // M-VIA kernel agent per node. This is the simulated twin of the JLab
 // clusters (paper sec. 3).
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -54,12 +55,31 @@ class GigeMeshCluster {
   /// Runs the simulation to completion.
   void run() { eng_.run(); }
 
+  // -- node-failure lifecycle --------------------------------------------
+  /// Observers (the ClusterLifecycle failure detector) notified after a node
+  /// is power-failed / power-restored.
+  void set_crash_hooks(std::function<void(topo::Rank)> on_crash,
+                       std::function<void(topo::Rank)> on_restart) {
+    on_crash_ = std::move(on_crash);
+    on_restart_ = std::move(on_restart);
+  }
+
+  /// Whole-node power failure: every adapter powers off (rings and in-flight
+  /// descriptors discarded, carrier drops at both cable ends) and the kernel
+  /// agent fails all its connections so local blockers unwind.
+  void power_fail_node(topo::Rank r);
+  /// Cold start: the agent's incarnation epoch bumps first, then the
+  /// adapters power on and both cable ends regain carrier.
+  void power_restore_node(topo::Rank r);
+
  private:
   GigeMeshConfig cfg_;
   sim::Engine eng_;
   topo::Torus torus_;
   std::unique_ptr<MeshFabric> fabric_;
   std::vector<std::unique_ptr<via::KernelAgent>> agents_;
+  std::function<void(topo::Rank)> on_crash_;
+  std::function<void(topo::Rank)> on_restart_;
 };
 
 }  // namespace meshmp::cluster

@@ -1,0 +1,275 @@
+#include "cluster/lifecycle.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "buf/pool.hpp"
+#include "sim/sync.hpp"
+#include "via/header.hpp"
+
+namespace meshmp::cluster {
+
+namespace {
+constexpr std::size_t idx(topo::Rank r) { return static_cast<std::size_t>(r); }
+}  // namespace
+
+ClusterLifecycle::ClusterLifecycle(GigeMeshCluster& cluster,
+                                   LifecycleParams params)
+    : cluster_(cluster),
+      params_(params),
+      ctl_(idx(cluster.size())),
+      observers_(idx(cluster.size())),
+      crash_time_(idx(cluster.size()), -1),
+      restart_time_(idx(cluster.size()), -1),
+      detect_hist_(
+          obs::Registry::instance().histogram("cluster.detection_latency_ns")),
+      rejoin_hist_(
+          obs::Registry::instance().histogram("cluster.rejoin_latency_ns")) {
+  views_.reserve(idx(cluster.size()));
+  for (topo::Rank r = 0; r < cluster.size(); ++r) {
+    views_.emplace_back(cluster.size());
+  }
+}
+
+void ClusterLifecycle::start() {
+  assert(!started_ && "lifecycle started twice");
+  started_ = true;
+  const sim::Time now = cluster_.engine().now();
+  for (topo::Rank r = 0; r < cluster_.size(); ++r) {
+    ctl_[idx(r)].last_heard.assign(idx(cluster_.size()), now);
+    via::KernelAgent& ag = cluster_.agent(r);
+    ag.set_control_handler([this, r](const via::ViaHeader& h, net::NodeId src,
+                                     const buf::Slice& payload) {
+      if (stopped_) return;
+      if (h.kind == via::MsgKind::kHeartbeat) {
+        on_heartbeat(r, static_cast<topo::Rank>(src));
+      } else {
+        on_membership_frame(r, payload.data(), payload.size());
+      }
+    });
+    ag.listen(kService);
+  }
+  cluster_.set_crash_hooks([this](topo::Rank r) { on_crash(r); },
+                           [this](topo::Rank r) { on_restart(r); });
+  for (topo::Rank r = 0; r < cluster_.size(); ++r) {
+    heartbeat_loop(r, ctl_[idx(r)].gen).detach();
+    monitor_loop(r, ctl_[idx(r)].gen).detach();
+    accept_loop(r).detach();
+  }
+}
+
+void ClusterLifecycle::stop() { stopped_ = true; }
+
+void ClusterLifecycle::subscribe(topo::Rank observer, Observer fn) {
+  observers_.at(idx(observer)).push_back(std::move(fn));
+}
+
+bool ClusterLifecycle::survivors_agree(topo::Rank subject, Liveness s) const {
+  for (topo::Rank r = 0; r < cluster_.size(); ++r) {
+    if (r == subject) continue;
+    if (!cluster_.agent(r).powered()) continue;
+    if (views_[idx(r)].at(subject).state != s) return false;
+  }
+  return true;
+}
+
+bool ClusterLifecycle::all_alive() const {
+  for (topo::Rank r = 0; r < cluster_.size(); ++r) {
+    if (!cluster_.agent(r).powered()) return false;
+    if (views_[idx(r)].count(Liveness::kAlive) != cluster_.size()) return false;
+  }
+  return true;
+}
+
+// -- crash hooks (called by GigeMeshCluster at the fault instant) -----------
+
+void ClusterLifecycle::on_crash(topo::Rank r) {
+  if (!started_) return;
+  crash_time_[idx(r)] = cluster_.engine().now();
+  // Retire the dead node's detector loops at their next tick; its handler
+  // sees no frames while unpowered, so its stale view simply freezes.
+  ++ctl_[idx(r)].gen;
+}
+
+void ClusterLifecycle::on_restart(topo::Rank r) {
+  if (!started_) return;
+  const sim::Time now = cluster_.engine().now();
+  restart_time_[idx(r)] = now;
+  const std::uint64_t gen = ++ctl_[idx(r)].gen;
+  // The silence clocks restart with the node; without this the monitor would
+  // re-declare every neighbour dead from pre-crash timestamps.
+  ctl_[idx(r)].last_heard.assign(idx(cluster_.size()), now);
+  heartbeat_loop(r, gen).detach();
+  monitor_loop(r, gen).detach();
+  rejoin(r, gen).detach();
+}
+
+// -- detector coroutines ----------------------------------------------------
+
+sim::Task<> ClusterLifecycle::heartbeat_loop(topo::Rank r, std::uint64_t gen) {
+  sim::Engine& eng = cluster_.engine();
+  const topo::Torus& t = cluster_.torus();
+  for (;;) {
+    co_await sim::delay(eng, params_.heartbeat_period);
+    if (stopped_ || gen != ctl_[idx(r)].gen) co_return;
+    via::KernelAgent& ag = cluster_.agent(r);
+    if (!ag.powered()) co_return;
+    for (topo::Dir d : t.directions(t.coord(r))) {
+      const auto n = t.neighbor(r, d);
+      if (!n) continue;
+      // No point probing a confirmed corpse; rejoin news revives the probe.
+      if (views_[idx(r)].at(*n).state == Liveness::kDead) continue;
+      ag.send_control(*n, via::MsgKind::kHeartbeat, {});
+    }
+  }
+}
+
+sim::Task<> ClusterLifecycle::monitor_loop(topo::Rank r, std::uint64_t gen) {
+  sim::Engine& eng = cluster_.engine();
+  const topo::Torus& t = cluster_.torus();
+  for (;;) {
+    co_await sim::delay(eng, params_.heartbeat_period);
+    if (stopped_ || gen != ctl_[idx(r)].gen) co_return;
+    if (!cluster_.agent(r).powered()) co_return;
+    const sim::Time now = eng.now();
+    for (topo::Dir d : t.directions(t.coord(r))) {
+      const auto n = t.neighbor(r, d);
+      if (!n) continue;
+      const Liveness st = views_[idx(r)].at(*n).state;
+      if (st == Liveness::kDead || st == Liveness::kRejoining) continue;
+      const sim::Duration silent = now - ctl_[idx(r)].last_heard[idx(*n)];
+      if (silent >= params_.dead_after) {
+        declare(r, *n, Liveness::kDead);
+      } else if (silent >= params_.suspect_after && st == Liveness::kAlive) {
+        declare(r, *n, Liveness::kSuspect);
+      }
+    }
+  }
+}
+
+// -- rejoin handshake -------------------------------------------------------
+
+sim::Task<> ClusterLifecycle::accept_loop(topo::Rank r) {
+  via::KernelAgent& ag = cluster_.agent(r);
+  for (;;) {
+    via::Vi* vi = co_await ag.accept(kService);
+    if (vi == nullptr) co_return;
+    vi->post_recv(64);
+    vi->post_recv(64);
+    drain_completions(*vi).detach();
+  }
+}
+
+sim::Task<> ClusterLifecycle::drain_completions(via::Vi& vi) {
+  for (;;) {
+    const via::RecvCompletion c = co_await vi.recv_completion();
+    if (c.status != via::ViError::kNone) co_return;
+  }
+}
+
+sim::Task<> ClusterLifecycle::rejoin(topo::Rank r, std::uint64_t gen) {
+  via::KernelAgent& ag = cluster_.agent(r);
+  const topo::Torus& t = cluster_.torus();
+  // Announce the new incarnation before the handshakes so survivors stop
+  // routing around this coordinate as the connection traffic lands.
+  process_record(
+      r, MemberRecord{r, MemberState{Liveness::kRejoining, ag.epoch(), 1}});
+  for (topo::Dir d : t.directions(t.coord(r))) {
+    if (stopped_ || gen != ctl_[idx(r)].gen) co_return;
+    const auto n = t.neighbor(r, d);
+    if (!n) continue;
+    if (views_[idx(r)].at(*n).state == Liveness::kDead) continue;
+    // Fresh-epoch ConnReq/ConnAck with each live neighbour; the hello is the
+    // first message of the new sequence space (seq restarts from zero), so a
+    // completed handshake doubles as a sequence-resync proof.
+    via::Vi* vi = co_await ag.connect(*n, kService);
+    if (vi == nullptr || vi->failed()) continue;
+    std::vector<std::byte> hello(8, std::byte{0x5a});
+    co_await vi->send(std::move(hello), /*immediate=*/ag.epoch());
+  }
+  if (stopped_ || gen != ctl_[idx(r)].gen) co_return;
+  process_record(
+      r, MemberRecord{r, MemberState{Liveness::kAlive, ag.epoch(), 2}});
+}
+
+// -- membership plumbing ----------------------------------------------------
+
+void ClusterLifecycle::on_heartbeat(topo::Rank observer, topo::Rank src) {
+  ctl_[idx(observer)].last_heard[idx(src)] = cluster_.engine().now();
+  // A heartbeat refutes suspicion directly; death needs the rejoin protocol.
+  if (views_[idx(observer)].at(src).state == Liveness::kSuspect) {
+    declare(observer, src, Liveness::kAlive);
+  }
+}
+
+void ClusterLifecycle::on_membership_frame(topo::Rank observer,
+                                           const std::byte* data,
+                                           std::size_t bytes) {
+  for (const MemberRecord& rec : MembershipView::decode(data, bytes)) {
+    process_record(observer, rec);
+  }
+}
+
+void ClusterLifecycle::declare(topo::Rank observer, topo::Rank subject,
+                               Liveness to) {
+  const MemberState& cur = views_[idx(observer)].at(subject);
+  process_record(observer,
+                 MemberRecord{subject, MemberState{to, cur.incarnation,
+                                                   cur.version + 1}});
+}
+
+void ClusterLifecycle::process_record(topo::Rank observer,
+                                      const MemberRecord& rec) {
+  MembershipView& view = views_[idx(observer)];
+  const Liveness prev = view.at(rec.rank).state;
+  if (!view.apply(rec)) return;  // stale — flood terminates here
+  const Liveness to = rec.st.state;
+  const sim::Time now = cluster_.engine().now();
+  via::KernelAgent& ag = cluster_.agent(observer);
+
+  if ((prev == Liveness::kDead) != (to == Liveness::kDead)) {
+    refresh_routes(observer);
+  }
+  if (to == Liveness::kDead && prev != Liveness::kDead) {
+    // Fast-fail pending traffic instead of burning the retransmit budget.
+    ag.peer_declared_dead(rec.rank);
+    if (observer != rec.rank && crash_time_[idx(rec.rank)] >= 0) {
+      detect_hist_.add(now - crash_time_[idx(rec.rank)]);
+    }
+  }
+  if (to == Liveness::kAlive || to == Liveness::kRejoining) {
+    // Fresh life restarts the silence clock, else the monitor re-kills it
+    // from a timestamp predating the outage.
+    ctl_[idx(observer)].last_heard[idx(rec.rank)] = now;
+  }
+  if (to == Liveness::kAlive && prev != Liveness::kAlive &&
+      observer != rec.rank && restart_time_[idx(rec.rank)] >= 0) {
+    rejoin_hist_.add(now - restart_time_[idx(rec.rank)]);
+  }
+  for (const Observer& fn : observers_[idx(observer)]) fn(rec.rank, to);
+
+  // Re-flood news to every live neighbour; apply-is-news gating above is
+  // what terminates the flood.
+  const topo::Torus& t = cluster_.torus();
+  for (topo::Dir d : t.directions(t.coord(observer))) {
+    const auto n = t.neighbor(observer, d);
+    if (!n) continue;
+    if (views_[idx(observer)].at(*n).state == Liveness::kDead) continue;
+    ag.send_control(*n, via::MsgKind::kMembership,
+                    buf::Pool::instance().adopt(MembershipView::encode({rec})));
+  }
+}
+
+void ClusterLifecycle::refresh_routes(topo::Rank observer) {
+  const std::vector<bool> dead = views_[idx(observer)].dead_set();
+  bool any = false;
+  for (const bool b : dead) any = any || b;
+  via::KernelAgent& ag = cluster_.agent(observer);
+  if (!any) {
+    ag.clear_route_table();
+  } else {
+    ag.set_route_table(cluster_.torus().route_table_avoiding(observer, dead));
+  }
+}
+
+}  // namespace meshmp::cluster

@@ -1,0 +1,121 @@
+#pragma once
+
+// Node-failure lifecycle: heartbeat failure detection, membership flooding,
+// degraded-mode routing, and rejoin — the control plane for whole-node
+// crashes on the switchless mesh.
+//
+// Every node runs two detector coroutines: a heartbeat loop that probes each
+// mesh neighbour with an unreliable kHeartbeat control frame per period, and
+// a monitor loop that turns silence into kSuspect after `suspect_after` and
+// kDead after `dead_after`. Transitions are flooded as MemberRecords over
+// the surviving mesh (apply-is-news gating terminates the flood), so every
+// survivor's MembershipView converges without any central observer — there
+// is no switch, and no master, to ask.
+//
+// On a confirmed death each survivor recomputes a full BFS route table
+// around the dead coordinate (Torus::route_table_avoiding) and installs it
+// in its kernel agent, and fast-fails every VI to the dead rank so pending
+// traffic error-completes instead of burning the retransmit budget. On
+// restart the node's agent epoch has already been bumped; the rejoin
+// coroutine floods kRejoining under the new incarnation, re-runs VI
+// connection establishment with its live neighbours (fresh-epoch
+// ConnReq/Ack, sequence numbers restarting from zero), then floods kAlive —
+// at which point survivors heal their route tables.
+//
+// Detection and rejoin latencies (crash/restart sim-time to each survivor's
+// view transition) are recorded into obs histograms and therefore appear in
+// ClusterReport.metrics.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/gige_mesh.hpp"
+#include "cluster/membership.hpp"
+#include "obs/metrics.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "via/vi.hpp"
+
+namespace meshmp::cluster {
+
+struct LifecycleParams {
+  sim::Duration heartbeat_period = 200'000;  ///< 200 us between probes
+  sim::Duration suspect_after = 700'000;     ///< silence before kSuspect
+  sim::Duration dead_after = 2'000'000;      ///< suspicion timeout -> kDead
+};
+
+class ClusterLifecycle {
+ public:
+  /// Service number the rejoin handshake dials; every node listens on it.
+  static constexpr std::uint32_t kService = 0xFEEDC0DEu;
+
+  ClusterLifecycle(GigeMeshCluster& cluster, LifecycleParams params = {});
+
+  /// Spawns the per-node detector loops and rejoin accept loops, installs
+  /// the control-frame handlers, and registers the cluster crash hooks.
+  /// Call once, before the first fault fires.
+  void start();
+  /// Detector loops exit at their next tick, letting the engine quiesce.
+  void stop();
+
+  [[nodiscard]] const LifecycleParams& params() const noexcept {
+    return params_;
+  }
+  /// Rank `r`'s current belief about the cluster.
+  [[nodiscard]] const MembershipView& view(topo::Rank r) const {
+    return views_.at(static_cast<std::size_t>(r));
+  }
+
+  /// Observer invoked on every membership transition rank `observer` applies
+  /// (its own detections and flooded news alike). Used by upper layers to
+  /// cancel receives or rebuild collective state on death/rejoin.
+  using Observer = std::function<void(topo::Rank subject, Liveness to)>;
+  void subscribe(topo::Rank observer, Observer fn);
+
+  /// True when every powered node other than `subject` believes `subject`
+  /// is in state `s` — the flood-convergence acceptance check.
+  [[nodiscard]] bool survivors_agree(topo::Rank subject, Liveness s) const;
+  /// True when every powered node believes every rank is alive.
+  [[nodiscard]] bool all_alive() const;
+
+ private:
+  struct NodeCtl {
+    std::vector<sim::Time> last_heard;  ///< by rank; only neighbours used
+    std::uint64_t gen = 0;  ///< bumped on crash/restart to retire old loops
+  };
+
+  void on_crash(topo::Rank r);
+  void on_restart(topo::Rank r);
+
+  sim::Task<> heartbeat_loop(topo::Rank r, std::uint64_t gen);
+  sim::Task<> monitor_loop(topo::Rank r, std::uint64_t gen);
+  sim::Task<> accept_loop(topo::Rank r);
+  sim::Task<> drain_completions(via::Vi& vi);
+  sim::Task<> rejoin(topo::Rank r, std::uint64_t gen);
+
+  void on_heartbeat(topo::Rank observer, topo::Rank src);
+  void on_membership_frame(topo::Rank observer, const std::byte* data,
+                           std::size_t bytes);
+  /// Authors a transition about `subject` as seen by `observer` and runs it
+  /// through the same apply/react/flood path as received news.
+  void declare(topo::Rank observer, topo::Rank subject, Liveness to);
+  void process_record(topo::Rank observer, const MemberRecord& rec);
+  /// Reinstall (or clear) observer's degraded-mode route table from its
+  /// current dead set.
+  void refresh_routes(topo::Rank observer);
+
+  GigeMeshCluster& cluster_;
+  LifecycleParams params_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::vector<MembershipView> views_;
+  std::vector<NodeCtl> ctl_;
+  std::vector<std::vector<Observer>> observers_;
+  std::vector<sim::Time> crash_time_;    ///< -1 until the fault fires
+  std::vector<sim::Time> restart_time_;  ///< -1 until the restart fires
+  obs::Histogram& detect_hist_;  ///< crash -> per-survivor kDead, ns
+  obs::Histogram& rejoin_hist_;  ///< restart -> per-survivor kAlive, ns
+};
+
+}  // namespace meshmp::cluster

@@ -1,0 +1,105 @@
+#include "cluster/membership.hpp"
+
+#include <cstring>
+#include <tuple>
+
+namespace meshmp::cluster {
+
+const char* to_string(Liveness s) noexcept {
+  switch (s) {
+    case Liveness::kAlive:
+      return "alive";
+    case Liveness::kSuspect:
+      return "suspect";
+    case Liveness::kDead:
+      return "dead";
+    case Liveness::kRejoining:
+      return "rejoining";
+  }
+  return "?";
+}
+
+namespace {
+
+// Tie-break for records carrying the same (incarnation, version): the more
+// pessimistic state wins everywhere, so two survivors authoring conflicting
+// transitions at the same version still converge instead of flood-fighting.
+int severity(Liveness s) noexcept {
+  switch (s) {
+    case Liveness::kAlive:
+      return 0;
+    case Liveness::kRejoining:
+      return 1;
+    case Liveness::kSuspect:
+      return 2;
+    case Liveness::kDead:
+      return 3;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool MembershipView::apply(const MemberRecord& rec) {
+  MemberState& cur = states_.at(static_cast<std::size_t>(rec.rank));
+  const bool news =
+      std::tuple(rec.st.incarnation, rec.st.version, severity(rec.st.state)) >
+      std::tuple(cur.incarnation, cur.version, severity(cur.state));
+  if (news) cur = rec.st;
+  return news;
+}
+
+int MembershipView::count(Liveness s) const {
+  int n = 0;
+  for (const MemberState& st : states_) {
+    if (st.state == s) ++n;
+  }
+  return n;
+}
+
+std::vector<bool> MembershipView::dead_set() const {
+  std::vector<bool> dead(states_.size(), false);
+  for (std::size_t r = 0; r < states_.size(); ++r) {
+    dead[r] = states_[r].state == Liveness::kDead;
+  }
+  return dead;
+}
+
+std::vector<std::byte> MembershipView::encode(
+    const std::vector<MemberRecord>& recs) {
+  std::vector<std::byte> out(recs.size() * kRecordBytes);
+  std::byte* p = out.data();
+  for (const MemberRecord& rec : recs) {
+    const auto rank = static_cast<std::int32_t>(rec.rank);
+    const auto state = static_cast<std::uint8_t>(rec.st.state);
+    std::memcpy(p, &rank, 4);
+    std::memcpy(p + 4, &state, 1);
+    std::memcpy(p + 5, &rec.st.incarnation, 4);
+    std::memcpy(p + 9, &rec.st.version, 8);
+    p += kRecordBytes;
+  }
+  return out;
+}
+
+std::vector<MemberRecord> MembershipView::decode(const std::byte* data,
+                                                 std::size_t bytes) {
+  std::vector<MemberRecord> recs;
+  recs.reserve(bytes / kRecordBytes);
+  for (std::size_t off = 0; off + kRecordBytes <= bytes;
+       off += kRecordBytes) {
+    const std::byte* p = data + off;
+    MemberRecord rec;
+    std::int32_t rank = 0;
+    std::uint8_t state = 0;
+    std::memcpy(&rank, p, 4);
+    std::memcpy(&state, p + 4, 1);
+    std::memcpy(&rec.st.incarnation, p + 5, 4);
+    std::memcpy(&rec.st.version, p + 9, 8);
+    rec.rank = rank;
+    rec.st.state = static_cast<Liveness>(state);
+    recs.push_back(rec);
+  }
+  return recs;
+}
+
+}  // namespace meshmp::cluster

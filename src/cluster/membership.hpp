@@ -1,0 +1,87 @@
+#pragma once
+
+// Per-node cluster membership view for the node-failure lifecycle.
+//
+// Every node keeps a MembershipView: what it currently believes about each
+// rank's liveness. Views converge across survivors by flooding MemberRecords
+// over the mesh (cluster/lifecycle.{hpp,cpp}); a record is "news" — applied
+// and re-flooded — iff it is strictly newer than the stored state by
+// (incarnation, version) lexicographic order, which both terminates the
+// flood and lets a restarted node's fresh incarnation override any stale
+// story about its previous life.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "topo/torus.hpp"
+
+namespace meshmp::cluster {
+
+enum class Liveness : std::uint8_t {
+  kAlive = 0,
+  kSuspect = 1,    ///< missed heartbeats, not yet declared dead
+  kDead = 2,       ///< suspicion timeout expired; routed around
+  kRejoining = 3,  ///< restarted, re-establishing connections
+};
+
+[[nodiscard]] const char* to_string(Liveness s) noexcept;
+
+struct MemberState {
+  Liveness state = Liveness::kAlive;
+  /// Node incarnation (the via::KernelAgent epoch of the subject node as
+  /// known to the record's author).
+  std::uint32_t incarnation = 0;
+  /// Monotone per (rank, incarnation); bumped by whoever authors a
+  /// transition. (incarnation, version) orders records totally per rank.
+  std::uint64_t version = 0;
+};
+
+/// One flooded unit of membership news about `rank`.
+struct MemberRecord {
+  topo::Rank rank = 0;
+  MemberState st;
+};
+
+class MembershipView {
+ public:
+  explicit MembershipView(topo::Rank cluster_size)
+      : states_(static_cast<std::size_t>(cluster_size)) {}
+
+  [[nodiscard]] topo::Rank size() const noexcept {
+    return static_cast<topo::Rank>(states_.size());
+  }
+  [[nodiscard]] const MemberState& at(topo::Rank r) const {
+    return states_.at(static_cast<std::size_t>(r));
+  }
+
+  /// Applies `rec` iff it is news: (incarnation, version, state-severity)
+  /// strictly greater than the stored record for that rank — the severity
+  /// tie-break (dead > suspect > rejoining > alive) makes concurrent
+  /// same-version conflicts converge. Returns whether it was news (the
+  /// flood-forwarding gate).
+  bool apply(const MemberRecord& rec);
+
+  /// The stored state of `r` as a floodable record.
+  [[nodiscard]] MemberRecord record(topo::Rank r) const {
+    return MemberRecord{r, at(r)};
+  }
+
+  [[nodiscard]] int count(Liveness s) const;
+  /// dead[r] == true iff this view believes r is kDead. The input to
+  /// degraded-mode route recomputation and survivor spanning trees.
+  [[nodiscard]] std::vector<bool> dead_set() const;
+
+  /// Wire encoding for kMembership flood frames: 17 bytes per record
+  /// (rank i32 | state u8 | incarnation u32 | version u64, little-endian).
+  static constexpr std::size_t kRecordBytes = 17;
+  [[nodiscard]] static std::vector<std::byte> encode(
+      const std::vector<MemberRecord>& recs);
+  [[nodiscard]] static std::vector<MemberRecord> decode(const std::byte* data,
+                                                        std::size_t bytes);
+
+ private:
+  std::vector<MemberState> states_;
+};
+
+}  // namespace meshmp::cluster

@@ -32,6 +32,10 @@ ClusterReport make_report(GigeMeshCluster& cluster) {
     r.unreachable_drops += ac.get("unreachable_drops");
     r.ttl_expired += ac.get("ttl_expired");
     r.vi_failures += ac.get("vi_failures");
+    r.node_crashes += ac.get("node_crashes");
+    r.node_restarts += ac.get("node_restarts");
+    r.stale_epoch_drops += ac.get("rx_stale_epoch");
+    r.table_routed_frames += ac.get("table_routed_frames");
     for (std::uint32_t v = 0;
          v < static_cast<std::uint32_t>(agent.vi_count()); ++v) {
       const auto& vc = agent.vi(v).counters();
@@ -45,7 +49,7 @@ ClusterReport make_report(GigeMeshCluster& cluster) {
 }
 
 std::string ClusterReport::str() const {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "simulated time      : %.6f s\n"
@@ -55,7 +59,9 @@ std::string ClusterReport::str() const {
       "drops               : %lld checksum, %lld ring, %lld carrier\n"
       "reliability         : %lld retransmits, %lld dup-discards\n"
       "fault handling      : %lld rerouted, %lld unreachable, %lld TTL, "
-      "%lld VI failures\n",
+      "%lld VI failures\n"
+      "node lifecycle      : %lld crashes, %lld restarts, %lld stale-epoch, "
+      "%lld table-routed\n",
       sim_seconds, avg_cpu_utilization * 100, max_cpu_utilization * 100,
       static_cast<long long>(tx_frames), static_cast<long long>(rx_frames),
       static_cast<long long>(forwarded_frames),
@@ -69,7 +75,11 @@ std::string ClusterReport::str() const {
       static_cast<long long>(rerouted_frames),
       static_cast<long long>(unreachable_drops),
       static_cast<long long>(ttl_expired),
-      static_cast<long long>(vi_failures));
+      static_cast<long long>(vi_failures),
+      static_cast<long long>(node_crashes),
+      static_cast<long long>(node_restarts),
+      static_cast<long long>(stale_epoch_drops),
+      static_cast<long long>(table_routed_frames));
   return buf;
 }
 

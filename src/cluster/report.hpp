@@ -31,6 +31,10 @@ struct ClusterReport {
   std::int64_t unreachable_drops = 0;   ///< frames with no usable egress
   std::int64_t ttl_expired = 0;         ///< frames that ran out of hops
   std::int64_t vi_failures = 0;         ///< VIs whose retry budget ran out
+  std::int64_t node_crashes = 0;        ///< whole-node power failures
+  std::int64_t node_restarts = 0;       ///< cold starts after a crash
+  std::int64_t stale_epoch_drops = 0;   ///< frames from a previous incarnation
+  std::int64_t table_routed_frames = 0;  ///< frames sent via a degraded table
 
   /// Full metrics-registry view at snapshot time: every live counter group
   /// plus latency/size histogram summaries (p50/p95/p99). The scalar fields

@@ -78,6 +78,25 @@ void count_interior(const topo::Torus& t, topo::Rank from,
   }
 }
 
+/// The ranks strictly upstream of `me` on `route` (the root plus every
+/// interior hop before `me`): if any of them dies before forwarding, the
+/// message can never reach `me`.
+std::vector<topo::Rank> upstream_of(const topo::Torus& t, topo::Rank root,
+                                    const std::vector<topo::Dir>& route,
+                                    topo::Rank me) {
+  std::vector<topo::Rank> up{root};
+  topo::Coord cur = t.coord(root);
+  for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+    auto n = t.neighbor(cur, route[i]);
+    assert(n);
+    cur = *n;
+    const topo::Rank r = t.rank(cur);
+    if (r == me) break;
+    up.push_back(r);
+  }
+  return up;
+}
+
 /// Advances the routing header by one hop; returns the next-hop rank.
 topo::Rank advance(const topo::Torus& t, topo::Rank me,
                    std::vector<std::byte>& msg) {
@@ -134,6 +153,18 @@ struct Participant {
   /// Number of messages addressed to this node.
   int deliveries = 0;
 
+  /// Failure awareness (scatter_failaware only). When set, the receiver
+  /// tracks each expected message with the ranks upstream of this node on
+  /// its route; a cancelled receive (msg.ok == false) makes it give up on
+  /// every expectation whose upstream path crossed a now-dead node.
+  std::function<bool(topo::Rank)> is_dead;
+  struct Expected {
+    topo::Rank dest = 0;
+    std::vector<topo::Rank> upstream;  ///< root + interior hops before me
+    bool resolved = false;
+  };
+  std::vector<Expected> expected;
+
   std::vector<std::vector<std::byte>> delivered;  // stripped payload + head
   std::vector<RouteHead> delivered_heads;
 
@@ -151,6 +182,10 @@ struct Participant {
   }
 
   Task<> receiver(sim::Queue<std::vector<std::byte>>& work) {
+    if (is_dead) {
+      co_await receiver_failaware(work);
+      co_return;
+    }
     sim::TaskGroup acks(ep.engine());
     int remaining = forward_count + deliveries;
     while (remaining-- > 0) {
@@ -169,18 +204,72 @@ struct Participant {
     co_await acks.join();
   }
 
+  Task<> receiver_failaware(sim::Queue<std::vector<std::byte>>& work) {
+    sim::TaskGroup acks(ep.engine());
+    int unresolved = static_cast<int>(expected.size());
+    while (unresolved > 0) {
+      mp::Message msg = co_await ep.recv(mp::Endpoint::kAny, tag);
+      if (!msg.ok) {
+        // Cancellation wake after a confirmed death: give up on every
+        // message whose upstream path crossed a dead node. Anything else is
+        // still in flight on live hops and is re-awaited.
+        for (Expected& e : expected) {
+          if (e.resolved) continue;
+          bool doomed = false;
+          for (topo::Rank u : e.upstream) doomed = doomed || is_dead(u);
+          if (!doomed) continue;
+          e.resolved = true;
+          --unresolved;
+          if (e.dest != ep.rank()) {
+            work.push({});  // poison keeps the worker's forward count honest
+          }
+        }
+        continue;
+      }
+      const RouteHead h = head_of(msg.data);
+      if (single_port) {
+        acks.add(send_ack(prev_hop(t, ep.rank(), h)));
+      }
+      for (Expected& e : expected) {
+        if (!e.resolved && e.dest == h.dest) {
+          e.resolved = true;
+          --unresolved;
+          break;
+        }
+      }
+      if (h.dest == ep.rank()) {
+        delivered_heads.push_back(h);
+        delivered.push_back(strip(std::move(msg.data)));
+      } else {
+        work.push(std::move(msg.data));
+      }
+    }
+    co_await acks.join();
+  }
+
   // Single-port pacing: a transmission may start only when at most one
   // earlier one is still unacknowledged — message k+1 overlaps the ack of
   // message k, so the port advances one message per hop period, which is the
   // paper's one-message-per-time-step discipline.
   std::deque<topo::Rank> outstanding;
 
+  Task<> await_oldest_ack() {
+    const topo::Rank oldest = outstanding.front();
+    outstanding.pop_front();
+    for (;;) {
+      // A corpse never acks; a cancellation wake (ok == false) means the
+      // membership view changed, so re-check before waiting again.
+      if (is_dead && is_dead(oldest)) co_return;
+      mp::Message m = co_await ep.recv(static_cast<int>(oldest), ack_tag);
+      if (m.ok || !is_dead) co_return;
+    }
+  }
+
   Task<> transmit(topo::Rank next, std::vector<std::byte> msg) {
+    if (is_dead && is_dead(next)) co_return;  // don't feed a known corpse
     if (single_port) {
       while (outstanding.size() >= 2) {
-        const topo::Rank oldest = outstanding.front();
-        outstanding.pop_front();
-        (void)co_await ep.recv(static_cast<int>(oldest), ack_tag);
+        co_await await_oldest_ack();
       }
       outstanding.push_back(next);
     }
@@ -189,9 +278,7 @@ struct Participant {
 
   Task<> drain_outstanding() {
     while (!outstanding.empty()) {
-      const topo::Rank oldest = outstanding.front();
-      outstanding.pop_front();
-      (void)co_await ep.recv(static_cast<int>(oldest), ack_tag);
+      co_await await_oldest_ack();
     }
   }
 
@@ -217,6 +304,7 @@ struct Participant {
                              "forward_phase", "msgs", forward_count);
       for (int i = 0; i < forward_count; ++i) {
         std::vector<std::byte> msg = co_await work.pop();
+        if (msg.empty()) continue;  // poison: a doomed forward, nothing to do
         const topo::Rank next = advance(t, ep.rank(), msg);
         if (single_port) {
           co_await transmit(next, std::move(msg));
@@ -320,6 +408,78 @@ Task<std::vector<std::byte>> scatter(
     own = std::move(part.delivered.front());
   }
   co_return own;
+}
+
+Task<ScatterResult> scatter_failaware(
+    mp::Endpoint& ep, topo::Rank root,
+    const std::vector<std::vector<std::byte>>* chunks, int tag, ScatterAlg alg,
+    std::function<bool(topo::Rank)> is_dead) {
+  const topo::Torus& t = ep.agent().torus();
+  const topo::Rank me = ep.rank();
+  [[maybe_unused]] std::int32_t trk = -1;
+  MESHMP_TRACE_TRACK(trk, me, "coll");
+  MESHMP_TRACE_SCOPE_ARG(ep.engine(), obs::Cat::kColl, me, trk,
+                         "scatter_failaware", "root", root);
+  const ScatterPlan plan = make_scatter_plan(t, root, alg);
+
+  Participant part(ep, t, tag, alg == ScatterAlg::kSdf);
+  part.is_dead = std::move(is_dead);
+
+  // Every message passing through me, tracked with its upstream ranks.
+  for (topo::Rank d = 0; d < t.size(); ++d) {
+    if (d == root || d == me) continue;
+    const auto& route = plan.routes[static_cast<std::size_t>(d)];
+    topo::Coord cur = t.coord(root);
+    for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+      auto n = t.neighbor(cur, route[i]);
+      assert(n);
+      cur = *n;
+      if (t.rank(cur) == me) {
+        part.expected.push_back(
+            {d, upstream_of(t, root, route, me), false});
+        break;
+      }
+    }
+  }
+  part.forward_count = static_cast<int>(part.expected.size());
+
+  ScatterResult res;
+  if (me == root) {
+    if (chunks == nullptr ||
+        chunks->size() != static_cast<std::size_t>(t.size())) {
+      throw std::invalid_argument("scatter: root needs size() chunks");
+    }
+    res.data = (*chunks)[static_cast<std::size_t>(root)];
+    for (topo::Rank d : plan.emit_order) {
+      const auto& route = plan.routes[static_cast<std::size_t>(d)];
+      RouteHead h = make_head(root, d, route);
+      h.hop_idx = 1;  // the root itself performs hop 0
+      auto next = t.neighbor(root, route.front());
+      assert(next);
+      part.emissions.emplace_back(
+          *next, wrap(h, (*chunks)[static_cast<std::size_t>(d)]));
+    }
+  } else {
+    if (chunks != nullptr) {
+      throw std::invalid_argument("scatter: only the root passes chunks");
+    }
+    part.deliveries = 1;
+    part.expected.push_back(
+        {me, upstream_of(t, root, plan.routes[static_cast<std::size_t>(me)],
+                         me),
+         false});
+  }
+
+  co_await part.run();
+  if (me != root) {
+    // A payload that arrived before (or despite) the doom verdict wins.
+    if (!part.delivered.empty()) {
+      res.data = std::move(part.delivered.front());
+    } else {
+      res.ok = false;
+    }
+  }
+  co_return res;
 }
 
 Task<std::vector<std::vector<std::byte>>> gather(mp::Endpoint& ep,

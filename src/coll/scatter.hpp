@@ -18,6 +18,7 @@
 //    ceil((p-1)/k) emit steps — the paper's optimality argument.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "mp/endpoint.hpp"
@@ -49,6 +50,30 @@ sim::Task<std::vector<std::byte>> scatter(
     mp::Endpoint& ep, topo::Rank root,
     const std::vector<std::vector<std::byte>>* chunks, int tag,
     ScatterAlg alg);
+
+/// Outcome of a failure-aware scatter on one rank.
+struct ScatterResult {
+  /// False when this rank's chunk was undeliverable: the root or some node
+  /// upstream on the chunk's route died mid-operation. `data` is empty.
+  bool ok = true;
+  std::vector<std::byte> data;
+};
+
+/// Failure-aware SPMD scatter for clusters that may lose nodes mid-flight.
+/// `is_dead(r)` is this rank's current belief about r (its
+/// MembershipView::dead_set()); it may start all-false and flip during the
+/// operation. The caller must arrange for posted receives to be cancelled
+/// when a death is confirmed (ClusterLifecycle::subscribe ->
+/// mp::Endpoint::cancel_posted_recvs), which wakes blocked participants:
+/// each re-evaluates its expected messages and gives up on any whose
+/// upstream path crossed a dead node. Every surviving rank terminates with
+/// either its correct chunk (ok == true) or a clean unreachable outcome
+/// (ok == false) — never a hang. Fault-free runs behave exactly like
+/// scatter().
+sim::Task<ScatterResult> scatter_failaware(
+    mp::Endpoint& ep, topo::Rank root,
+    const std::vector<std::vector<std::byte>>* chunks, int tag, ScatterAlg alg,
+    std::function<bool(topo::Rank)> is_dead);
 
 /// SPMD gather (reverse scatter): every rank contributes `mine`; the root
 /// returns all size() chunks (others return empty).

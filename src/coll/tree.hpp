@@ -46,4 +46,31 @@ sim::Task<> allreduce(mp::Endpoint& ep, std::vector<std::byte>& data,
 /// Barrier: global combining with a null reduction. Uses tag and tag+1.
 sim::Task<> barrier(mp::Endpoint& ep, int tag);
 
+// -- degraded-mode (survivor) collectives ----------------------------------
+//
+// After the failure detector confirms node deaths, the survivors rebuild
+// their collective trees over the live subgraph: dead ranks are excluded as
+// tree nodes (they neither contribute nor forward) and the tree is a BFS
+// spanning tree of the survivors (topo::survivor_parent / survivor_children).
+// Only live ranks call these, all with the same `dead` set (each rank's
+// MembershipView::dead_set() once views converge); `root` must be alive.
+
+/// Broadcast over the survivor tree; on return every live rank's `data`
+/// holds the root's buffer.
+sim::Task<> broadcast_survivors(mp::Endpoint& ep, topo::Rank root,
+                                std::vector<std::byte>& data, int tag,
+                                const std::vector<bool>& dead);
+
+/// Reduction over the survivor tree; the root combines every live rank's
+/// input.
+sim::Task<> reduce_survivors(mp::Endpoint& ep, topo::Rank root,
+                             std::vector<std::byte>& data, const ReduceOp& op,
+                             int tag, const std::vector<bool>& dead);
+
+/// Global combining over the survivors, rooted at the lowest live rank.
+/// Uses tag and tag+1.
+sim::Task<> allreduce_survivors(mp::Endpoint& ep, std::vector<std::byte>& data,
+                                const ReduceOp& op, int tag,
+                                const std::vector<bool>& dead);
+
 }  // namespace meshmp::coll

@@ -1,20 +1,153 @@
 #include "flt/fault.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
 #include <stdexcept>
+#include <string>
 
 namespace meshmp::flt {
 
+namespace {
+
+bool is_node_event(FaultEvent::Kind k) {
+  return k == FaultEvent::Kind::kNodeCrash ||
+         k == FaultEvent::Kind::kNodeRestart;
+}
+
+const char* kind_name(FaultEvent::Kind k) {
+  switch (k) {
+    case FaultEvent::Kind::kLinkDown:
+      return "link_down";
+    case FaultEvent::Kind::kLinkUp:
+      return "link_up";
+    case FaultEvent::Kind::kLossStart:
+      return "loss_start";
+    case FaultEvent::Kind::kLossStop:
+      return "loss_stop";
+    case FaultEvent::Kind::kCorruptStart:
+      return "corrupt_start";
+    case FaultEvent::Kind::kCorruptStop:
+      return "corrupt_stop";
+    case FaultEvent::Kind::kStallStart:
+      return "stall_start";
+    case FaultEvent::Kind::kStallStop:
+      return "stall_stop";
+    case FaultEvent::Kind::kNodeCrash:
+      return "node_crash";
+    case FaultEvent::Kind::kNodeRestart:
+      return "node_restart";
+  }
+  return "?";
+}
+
+[[noreturn]] void reject(const FaultEvent& ev, const char* why) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "flt::Schedule: %s at t=%lld on node %d: %s", kind_name(ev.kind),
+                static_cast<long long>(ev.at), static_cast<int>(ev.node), why);
+  throw std::invalid_argument(buf);
+}
+
+}  // namespace
+
 Injector::Injector(cluster::GigeMeshCluster& cluster, Schedule schedule)
     : cluster_(cluster), schedule_(std::move(schedule)) {
+  validate();
   auto& eng = cluster_.engine();
   for (const FaultEvent& ev : schedule_.events()) {
-    if (ev.at < eng.now()) {
-      throw std::invalid_argument("flt::Injector: event in the past");
-    }
-    if (!cluster_.torus().neighbor(ev.node, ev.dir)) {
-      throw std::invalid_argument("flt::Injector: no link at (node, dir)");
-    }
     eng.schedule_at(ev.at, [this, ev] { apply(ev); }, "fault");
+  }
+}
+
+void Injector::validate() const {
+  const topo::Torus& t = cluster_.torus();
+  const sim::Time now = cluster_.engine().now();
+  const std::vector<FaultEvent>& evs = schedule_.events();
+
+  for (const FaultEvent& ev : evs) {
+    if (ev.node < 0 || ev.node >= t.size()) {
+      reject(ev, "rank out of range");
+    }
+    if (ev.at < now) {
+      reject(ev, "event is in the past");
+    }
+    if (!is_node_event(ev.kind) && !t.neighbor(ev.node, ev.dir)) {
+      reject(ev, "no link at (node, dir)");
+    }
+  }
+
+  // Window / lifecycle ordering is checked in time order; ties keep
+  // insertion order so a zero-length window is caught as inverted.
+  std::vector<std::size_t> order(evs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return evs[a].at < evs[b].at;
+  });
+
+  // Open-window times per (port, fault class); -1 means closed.
+  std::unordered_map<std::uint64_t, sim::Time> open;
+  std::unordered_map<topo::Rank, sim::Time> down_since;
+  const auto wkey = [](const FaultEvent& ev, std::uint64_t cls) {
+    return (cls << 48) | port_key(ev.node, ev.dir);
+  };
+  const auto open_window = [&](const FaultEvent& ev, std::uint64_t cls) {
+    auto [it, fresh] = open.emplace(wkey(ev, cls), ev.at);
+    if (!fresh && it->second >= 0) reject(ev, "window opened twice");
+    it->second = ev.at;
+  };
+  const auto close_window = [&](const FaultEvent& ev, std::uint64_t cls) {
+    auto it = open.find(wkey(ev, cls));
+    if (it == open.end() || it->second < 0) {
+      reject(ev, "stop without an open window");
+    }
+    if (ev.at <= it->second) reject(ev, "window is empty or inverted");
+    it->second = -1;
+  };
+
+  for (std::size_t i : order) {
+    const FaultEvent& ev = evs[i];
+    switch (ev.kind) {
+      case FaultEvent::Kind::kLossStart:
+        open_window(ev, 1);
+        break;
+      case FaultEvent::Kind::kLossStop:
+        close_window(ev, 1);
+        break;
+      case FaultEvent::Kind::kCorruptStart:
+        open_window(ev, 2);
+        break;
+      case FaultEvent::Kind::kCorruptStop:
+        close_window(ev, 2);
+        break;
+      case FaultEvent::Kind::kStallStart:
+        open_window(ev, 3);
+        break;
+      case FaultEvent::Kind::kStallStop:
+        close_window(ev, 3);
+        break;
+      case FaultEvent::Kind::kNodeCrash: {
+        auto [it, fresh] = down_since.emplace(ev.node, ev.at);
+        if (!fresh && it->second >= 0) {
+          reject(ev, "node is already crashed");
+        }
+        it->second = ev.at;
+        break;
+      }
+      case FaultEvent::Kind::kNodeRestart: {
+        auto it = down_since.find(ev.node);
+        if (it == down_since.end() || it->second < 0) {
+          reject(ev, "restart without a prior crash");
+        }
+        if (ev.at <= it->second) reject(ev, "restart not after the crash");
+        it->second = -1;
+        break;
+      }
+      case FaultEvent::Kind::kLinkDown:
+      case FaultEvent::Kind::kLinkUp:
+        break;  // carrier writes are idempotent; any order is meaningful
+    }
   }
 }
 
@@ -27,6 +160,16 @@ void Injector::set_cable_carrier(topo::Rank node, topo::Dir dir, bool up) {
 }
 
 void Injector::apply(const FaultEvent& ev) {
+  if (ev.kind == FaultEvent::Kind::kNodeCrash) {
+    cluster_.power_fail_node(ev.node);
+    counters_.inc("node_crashes");
+    return;
+  }
+  if (ev.kind == FaultEvent::Kind::kNodeRestart) {
+    cluster_.power_restore_node(ev.node);
+    counters_.inc("node_restarts");
+    return;
+  }
   hw::Nic& nic = cluster_.nic(ev.node, ev.dir);
   const std::uint64_t key = port_key(ev.node, ev.dir);
   switch (ev.kind) {
@@ -68,6 +211,9 @@ void Injector::apply(const FaultEvent& ev) {
     case FaultEvent::Kind::kStallStop:
       nic.set_stalled(false);
       break;
+    case FaultEvent::Kind::kNodeCrash:
+    case FaultEvent::Kind::kNodeRestart:
+      break;  // handled above, before the port lookup
   }
 }
 

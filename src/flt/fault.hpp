@@ -35,6 +35,8 @@ struct FaultEvent {
     kCorruptStop,
     kStallStart,
     kStallStop,
+    kNodeCrash,    ///< whole-node power failure; dir unused
+    kNodeRestart,  ///< cold start of a previously crashed node; dir unused
   };
   Kind kind = Kind::kLinkDown;
   sim::Time at = 0;
@@ -78,6 +80,23 @@ class Schedule {
     add({FaultEvent::Kind::kStallStart, at, node, dir, 0});
     return add({FaultEvent::Kind::kStallStop, at + dur, node, dir, 0});
   }
+  /// Whole-node power failure at `at`: every adapter powers off (in-flight
+  /// DMA and rings discarded, carrier drops at both cable ends) and the
+  /// kernel agent fails all its connections.
+  Schedule& node_crash(sim::Time at, topo::Rank node) {
+    return add({FaultEvent::Kind::kNodeCrash, at, node, {}, 0});
+  }
+  /// Cold start of a previously crashed node at `at`: the agent's incarnation
+  /// epoch bumps, adapters power on, carrier returns at both cable ends.
+  Schedule& node_restart(sim::Time at, topo::Rank node) {
+    return add({FaultEvent::Kind::kNodeRestart, at, node, {}, 0});
+  }
+  /// Crash at `at`, cold-start after `down_for`.
+  Schedule& crash_restart(sim::Time at, topo::Rank node,
+                          sim::Duration down_for) {
+    node_crash(at, node);
+    return node_restart(at + down_for, node);
+  }
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
     return events_;
@@ -105,6 +124,12 @@ class Injector {
   }
 
  private:
+  /// Arm-time schedule validation: ranks and links must exist, events must
+  /// not be in the past, burst/stall windows on a port must open before they
+  /// close and never nest, and node crash/restart sequences must alternate
+  /// (a restart needs a prior crash, a crashed node can't crash again).
+  /// Throws std::invalid_argument naming the offending event.
+  void validate() const;
   void apply(const FaultEvent& ev);
   /// Sets carrier on both ends of the (node, dir) cable.
   void set_cable_carrier(topo::Rank node, topo::Dir dir, bool up);

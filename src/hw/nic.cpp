@@ -61,6 +61,7 @@ void Nic::audit_quiesce() const {
 }
 
 void Nic::set_carrier(bool up) {
+  if (up && !powered_) return;  // no PHY, no link: power clamps the carrier
   if (carrier_ == up) return;
   carrier_ = up;
   counters_.inc(up ? "carrier_up_events" : "carrier_down_events");
@@ -77,6 +78,30 @@ void Nic::set_stalled(bool stalled) {
   }
 }
 
+void Nic::power_off() {
+  if (!powered_) return;
+  powered_ = false;
+  set_carrier(false);
+  // Discard everything queued on the adapter. A frame the DMA pump already
+  // popped still owns its descriptor and decrements tx_queued_ itself when
+  // its bus hold completes, so only count frames drained from the ring here.
+  int drained = 0;
+  while (tx_ring_.try_pop()) ++drained;
+  tx_queued_ -= drained;
+  while (tx_fifo_.try_pop()) tx_fifo_slots_.release();
+  qdisc_.clear();
+  while (rx_ring_.try_pop()) --rx_queued_;
+  // Wake a qdisc pump parked on tx_space so it can observe the empty queue.
+  tx_space_.notify_all();
+  counters_.inc("power_off_events");
+}
+
+void Nic::power_on() {
+  if (powered_) return;
+  powered_ = true;
+  counters_.inc("power_on_events");
+}
+
 sim::Duration Nic::wire_time(std::int64_t wire_bytes) const {
   const std::int64_t on_wire = std::max(wire_bytes, wire_.min_frame_bytes) +
                                wire_.per_frame_overhead_bytes;
@@ -84,6 +109,12 @@ sim::Duration Nic::wire_time(std::int64_t wire_bytes) const {
 }
 
 bool Nic::post_tx(net::Frame frame) {
+  if (!powered_) {
+    // A dead host has no caller left to block: accept and discard so stale
+    // coroutines unwinding through the crash never strand on tx_space().
+    counters_.inc("powered_off_tx_dropped");
+    return true;
+  }
   if (tx_queued_ >= params_.tx_descriptors) {
     counters_.inc("tx_ring_full");
     return false;
@@ -95,6 +126,10 @@ bool Nic::post_tx(net::Frame frame) {
 }
 
 void Nic::kernel_enqueue(net::Frame frame) {
+  if (!powered_) {
+    counters_.inc("powered_off_tx_dropped");
+    return;
+  }
   if (!qdisc_running_ && tx_queued_ < params_.tx_descriptors) {
     const bool ok = post_tx(std::move(frame));
     assert(ok);
@@ -114,6 +149,8 @@ sim::Task<> Nic::qdisc_pump() {
     while (tx_queued_ >= params_.tx_descriptors) {
       co_await tx_space_.next();
     }
+    // power_off() may have discarded the queue while we waited for space.
+    if (qdisc_.empty()) break;
     const bool ok = post_tx(std::move(qdisc_.front()));
     assert(ok);
     (void)ok;
@@ -182,6 +219,10 @@ sim::Task<> Nic::wire_pump() {
 }
 
 void Nic::receive(net::Frame f) {
+  if (!powered_) {
+    counters_.inc("powered_off_rx_dropped");
+    return;
+  }
   if (!carrier_) {
     // No link: whatever was still propagating never trains into the PHY.
     counters_.inc("carrier_rx_dropped");

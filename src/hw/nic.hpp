@@ -114,6 +114,17 @@ class Nic {
   void set_stalled(bool stalled);
   [[nodiscard]] bool stalled() const noexcept { return stalled_; }
 
+  /// Whole-node power failure: carrier drops, every queued descriptor and
+  /// FIFO/qdisc frame is discarded (in-flight DMA data vanishes with the
+  /// adapter's SRAM), and new tx/rx is blackholed until power_on(). The pump
+  /// coroutines stay parked on their (now empty) queues — an unpowered
+  /// adapter simply never hands them work.
+  void power_off();
+  /// Cold boot after power_off(): rings are empty by construction; carrier
+  /// is restored separately by the fabric once the peer port is live.
+  void power_on();
+  [[nodiscard]] bool powered() const noexcept { return powered_; }
+
   [[nodiscard]] int tx_free() const noexcept {
     return params_.tx_descriptors - tx_queued_;
   }
@@ -170,6 +181,7 @@ class Nic {
 
   bool carrier_ = true;
   bool stalled_ = false;
+  bool powered_ = true;
   sim::Signal stall_cleared_;
 
   sim::Counters counters_;

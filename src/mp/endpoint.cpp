@@ -360,6 +360,23 @@ void Endpoint::complete(PostedRecv& posted, Message msg) {
   posted.ready->fire();
 }
 
+void Endpoint::cancel_posted_recvs(int src) {
+  for (auto it = posted_.begin(); it != posted_.end();) {
+    if (src != kAny && (*it)->src != src) {
+      ++it;
+      continue;
+    }
+    auto sp = *it;
+    it = posted_.erase(it);
+    Message msg;
+    msg.src = sp->src;
+    msg.tag = sp->tag;
+    msg.ok = false;
+    complete(*sp, std::move(msg));
+    counters_.inc("recvs_cancelled");
+  }
+}
+
 Task<Message> Endpoint::recv(int src, int tag, int tag_mask) {
   // Look at unexpected messages first, in arrival order.
   for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {

@@ -43,6 +43,9 @@ struct Message {
   int src = -1;
   int tag = 0;
   std::vector<std::byte> data;
+  /// False when the receive was error-completed (the peer was declared dead
+  /// and the posted receive cancelled) instead of matched; data is empty.
+  bool ok = true;
 };
 
 /// Outcome of a send. Failures are structured, not exceptional: an
@@ -99,6 +102,12 @@ class Endpoint {
   /// Non-blocking probe.
   std::optional<ProbeResult> iprobe(int src = kAny, int tag = kAny,
                                     int tag_mask = ~0);
+
+  /// Error-completes posted-but-unmatched receives: every blocked recv whose
+  /// source filter names `src` (or every posted recv when src == kAny) wakes
+  /// with msg.ok == false instead of hanging on a peer that will never send.
+  /// Upper layers call this when the failure detector confirms a death.
+  void cancel_posted_recvs(int src = kAny);
 
   /// Number of unexpected (arrived but unmatched) messages — diagnostics.
   [[nodiscard]] std::size_t unexpected_count() const noexcept {

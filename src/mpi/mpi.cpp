@@ -81,6 +81,7 @@ Task<Status> Comm::recv(std::vector<std::byte>& out, int source, int tag) {
   st.source = msg.src;
   st.tag = msg.tag & kTagUb;
   st.count = static_cast<std::int64_t>(msg.data.size());
+  if (!msg.ok) st.error = kErrUnreachable;
   out = std::move(msg.data);
   co_return st;
 }
@@ -131,6 +132,7 @@ Task<> run_irecv(mp::Endpoint& ep, std::shared_ptr<Request::State> st,
   st->status.source = msg.src;
   st->status.tag = msg.tag & kTagUb;
   st->status.count = static_cast<std::int64_t>(msg.data.size());
+  if (!msg.ok) st->status.error = kErrUnreachable;
   st->data = std::move(msg.data);
   st->finished = true;
   st->done.fire();

@@ -91,6 +91,13 @@ Task<> Machine::run_send(MsgHandle* h, sim::Trigger* done) {
 Task<> Machine::run_recv(MsgHandle* h, sim::Trigger* done) {
   const int src = neighbor_rank(h->dir_.dim, h->dir_.sign);
   mp::Message msg = co_await ep_->recv(src, dir_tag(h->dir_));
+  if (!msg.ok) {
+    // Error completion: the receive was cancelled because the peer was
+    // declared dead. Surface it through the handle instead of hanging.
+    h->status_ = Status::kErrUnreachable;
+    done->fire();
+    co_return;
+  }
   if (msg.data.size() != h->mem_->buf.size()) {
     throw std::runtime_error("QMP receive size mismatch");
   }

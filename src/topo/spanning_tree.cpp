@@ -67,4 +67,55 @@ std::vector<Rank> bcast_children(const Torus& t, Rank root, Rank me) {
   return kids;
 }
 
+namespace {
+
+/// BFS parent array over the live subgraph, rooted at `root` (-1 = root or
+/// unreached). Shared by survivor_parent / survivor_children.
+std::vector<Rank> survivor_parents(const Torus& t, Rank root,
+                                   const std::vector<bool>& dead) {
+  assert(static_cast<Rank>(dead.size()) == t.size());
+  assert(!dead[static_cast<std::size_t>(root)] &&
+         "survivor tree rooted at a dead node");
+  std::vector<Rank> parent(static_cast<std::size_t>(t.size()), -1);
+  std::vector<bool> seen(static_cast<std::size_t>(t.size()), false);
+  seen[static_cast<std::size_t>(root)] = true;
+  std::vector<Rank> queue{root};
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Rank cur = queue[head];
+    for (Dir d : t.directions(t.coord(cur))) {
+      auto n = t.neighbor(cur, d);
+      if (!n || seen[static_cast<std::size_t>(*n)] ||
+          dead[static_cast<std::size_t>(*n)]) {
+        continue;
+      }
+      seen[static_cast<std::size_t>(*n)] = true;
+      parent[static_cast<std::size_t>(*n)] = cur;
+      queue.push_back(*n);
+    }
+  }
+  return parent;
+}
+
+}  // namespace
+
+std::optional<Rank> survivor_parent(const Torus& t, Rank root, Rank me,
+                                    const std::vector<bool>& dead) {
+  if (me == root) return std::nullopt;
+  const Rank p = survivor_parents(t, root, dead)[static_cast<std::size_t>(me)];
+  if (p < 0) return std::nullopt;
+  return p;
+}
+
+std::vector<Rank> survivor_children(const Torus& t, Rank root, Rank me,
+                                    const std::vector<bool>& dead) {
+  const auto parent = survivor_parents(t, root, dead);
+  std::vector<Rank> kids;
+  for (Rank r = 0; r < t.size(); ++r) {
+    if (r != root && parent[static_cast<std::size_t>(r)] == me) {
+      kids.push_back(r);
+    }
+  }
+  return kids;
+}
+
 }  // namespace meshmp::topo

@@ -20,4 +20,20 @@ std::optional<Rank> bcast_parent(const Torus& t, Rank root, Rank me);
 /// All nodes whose bcast_parent is `me` — always mesh neighbours of `me`.
 std::vector<Rank> bcast_children(const Torus& t, Rank root, Rank me);
 
+/// Degraded-mode spanning tree: BFS over the subgraph of live nodes
+/// (`dead[r]` marks rank r excluded), rooted at `root`. Deterministic (ranks
+/// expand in BFS order, directions lowest-dim positive-sign first), so every
+/// survivor derives the same tree from the same dead set. `root` must be
+/// alive.
+///
+/// Parent of `me` in the tree; nullopt for the root and for nodes the
+/// failures disconnect from it.
+std::optional<Rank> survivor_parent(const Torus& t, Rank root, Rank me,
+                                    const std::vector<bool>& dead);
+
+/// All live nodes whose survivor_parent is `me`, ascending by rank — always
+/// mesh neighbours of `me`.
+std::vector<Rank> survivor_children(const Torus& t, Rank root, Rank me,
+                                    const std::vector<bool>& dead);
+
 }  // namespace meshmp::topo

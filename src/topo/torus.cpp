@@ -205,6 +205,43 @@ std::vector<Dir> Torus::route_via(const Coord& from, const Coord& to,
   return hops;
 }
 
+std::vector<std::int8_t> Torus::route_table_avoiding(
+    Rank src, const std::vector<bool>& dead) const {
+  assert(static_cast<Rank>(dead.size()) == size_);
+  std::vector<std::int8_t> first(static_cast<std::size_t>(size_), -1);
+  std::vector<bool> seen(static_cast<std::size_t>(size_), false);
+  seen[static_cast<std::size_t>(src)] = true;
+  std::vector<Rank> queue;
+  queue.reserve(static_cast<std::size_t>(size_));
+  for (Dir d : directions(coord(src))) {
+    auto n = neighbor(src, d);
+    if (!n || seen[static_cast<std::size_t>(*n)] ||
+        dead[static_cast<std::size_t>(*n)]) {
+      continue;
+    }
+    seen[static_cast<std::size_t>(*n)] = true;
+    first[static_cast<std::size_t>(*n)] = static_cast<std::int8_t>(d.index());
+    queue.push_back(*n);
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Rank cur = queue[head];
+    for (Dir d : directions(coord(cur))) {
+      auto n = neighbor(cur, d);
+      if (!n || seen[static_cast<std::size_t>(*n)] ||
+          dead[static_cast<std::size_t>(*n)]) {
+        continue;
+      }
+      seen[static_cast<std::size_t>(*n)] = true;
+      // The first hop toward a node is the first hop toward whichever live
+      // node discovered it.
+      first[static_cast<std::size_t>(*n)] =
+          first[static_cast<std::size_t>(cur)];
+      queue.push_back(*n);
+    }
+  }
+  return first;
+}
+
 std::vector<Dir> Torus::directions(const Coord& c) const {
   std::vector<Dir> dirs;
   for (int d = 0; d < ndims(); ++d) {

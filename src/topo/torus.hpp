@@ -94,6 +94,16 @@ class Torus {
   /// All valid directions at a node (its ports).
   [[nodiscard]] std::vector<Dir> directions(const Coord& c) const;
 
+  /// Full route recomputation for degraded mode: BFS over the subgraph of
+  /// live nodes (`dead[r]` marks rank r unusable as hop or destination),
+  /// returning the first-hop direction index (Dir::index()) from `src`
+  /// toward every rank, or -1 for src itself, dead ranks, and destinations
+  /// the failures disconnect. Deterministic: ranks are expanded in BFS
+  /// order and directions in lowest-dimension, positive-sign-first order,
+  /// so every survivor computes the same table for the same dead set.
+  [[nodiscard]] std::vector<std::int8_t> route_table_avoiding(
+      Rank src, const std::vector<bool>& dead) const;
+
  private:
   Coord shape_;
   bool wrap_;

@@ -153,12 +153,31 @@ net::Frame KernelAgent::make_frame(net::NodeId dst, const ViaHeader& h,
   f.wire_bytes =
       static_cast<std::int64_t>(payload.size()) + params_.header_bytes;
   f.payload = std::move(payload);
-  f.meta = h;
+  // Every frame carries the sender's incarnation; a frame created before a
+  // crash and retransmitted after is identifiable by its stale epoch.
+  ViaHeader stamped = h;
+  stamped.epoch = epoch_;
+  f.meta = stamped;
   return f;
 }
 
 hw::Nic* KernelAgent::egress_for(net::NodeId dst) {
   assert(dst != me_ && "egress_for: frame addressed to self");
+  if (!route_table_.empty()) {
+    // Degraded mode: a BFS-recomputed table (routes around confirmed-dead
+    // nodes) overrides per-frame SDF. A hop whose local link is itself down
+    // falls through to the mask-aware SDF/detour path below.
+    const std::int8_t d = route_table_[static_cast<std::size_t>(dst)];
+    if (d < 0) {
+      counters_.inc("unreachable_drops");
+      return nullptr;
+    }
+    const topo::DirMask bit = topo::DirMask{1} << static_cast<unsigned>(d);
+    if ((failed_dirs_ & bit) == 0) {
+      counters_.inc("table_routed_frames");
+      return nic_by_dir_.at(d);
+    }
+  }
   const topo::Coord to = torus_.coord(dst);
   auto dir = torus_.sdf_next_avoiding(my_coord_, to, failed_dirs_);
   if (!dir) {
@@ -251,6 +270,7 @@ Task<> KernelAgent::transmit_message(Vi& vi, MsgKind kind, buf::Slice data,
     h.nfrags = nfrags;
     h.msg_bytes = static_cast<std::uint64_t>(total);
     h.immediate = immediate;
+    h.dst_epoch = vi.remote_epoch_;
     if (token != nullptr) {
       h.rma_handle = token->handle;
       h.rma_key = token->key;
@@ -285,6 +305,8 @@ Task<> KernelAgent::handle_rx(net::Frame frame, hw::IsrContext& ctx) {
   const auto& hp = node_.cpu().host();
   MESHMP_TRACE_TRACK(trk_rx_, me_, "agent.rx");
 
+  if (!powered_) co_return;  // dead host: late-delivered frames vanish
+
   if (frame.dst != me_) {
     // Kernel-level packet switching: pick the SDF egress adapter and re-post
     // without any user-space copy (paper sec. 5.1: ~12.5 us/hop). The TTL
@@ -308,6 +330,12 @@ Task<> KernelAgent::handle_rx(net::Frame frame, hw::IsrContext& ctx) {
     counters_.inc("rx_bad_frame");
     co_return;
   }
+  if (h->dst_epoch != 0 && h->dst_epoch != epoch_) {
+    // Addressed to a previous incarnation of this node (sender has not yet
+    // learned about the restart): never deliver across the reboot.
+    counters_.inc("rx_stale_epoch");
+    co_return;
+  }
 
   switch (h->kind) {
     case MsgKind::kConnReq:
@@ -320,10 +348,23 @@ Task<> KernelAgent::handle_rx(net::Frame frame, hw::IsrContext& ctx) {
         counters_.inc("rx_bad_vi");
         co_return;
       }
+      Vi& vi = *vis_[h->dst_vi];
+      if (vi.failed_ || h->epoch != vi.remote_epoch_) {
+        counters_.inc(vi.failed_ ? "rx_failed_vi" : "rx_stale_epoch");
+        co_return;
+      }
       MESHMP_TRACE_SCOPE(ctx.engine(), obs::Cat::kVia, me_, trk_rx_,
                          "rx_ack");
-      rx_ack(*vis_[h->dst_vi], *h);
+      rx_ack(vi, *h);
       co_await ctx.spend(300);  // ack bookkeeping
+      co_return;
+    }
+    case MsgKind::kHeartbeat:
+    case MsgKind::kMembership: {
+      co_await ctx.spend(hp.via_rx_per_frame);
+      counters_.inc(h->kind == MsgKind::kHeartbeat ? "rx_heartbeats"
+                                                   : "rx_membership");
+      if (control_handler_) control_handler_(*h, frame.src, frame.payload);
       co_return;
     }
     case MsgKind::kKernelReduce: {
@@ -352,6 +393,12 @@ Task<> KernelAgent::handle_rx(net::Frame frame, hw::IsrContext& ctx) {
         co_return;
       }
       Vi& vi = *vis_[h->dst_vi];
+      if (vi.failed_ || (vi.connected_ && h->epoch != vi.remote_epoch_)) {
+        // Either this VI already gave up (crash path marked it) or the frame
+        // is a leftover from a previous incarnation of the peer.
+        counters_.inc(vi.failed_ ? "rx_failed_vi" : "rx_stale_epoch");
+        co_return;
+      }
       if (h->kind == MsgKind::kData) {
         co_await rx_data(vi, *h, frame, ctx);
       } else {
@@ -501,15 +548,25 @@ void KernelAgent::rx_connect(const ViaHeader& h, const net::Frame& f) {
     }
     // The dialer re-sends kConnReq when the handshake times out; a duplicate
     // must re-ack the VI already accepted for it, not accept a second one.
+    // A request from a *newer incarnation* of the dialer is not a duplicate:
+    // the old mapping belongs to the dead incarnation and a fresh VI is
+    // accepted in its place.
     const std::uint64_t dial_key =
         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(f.src)) << 32) |
         h.src_vi;
-    auto [acc, fresh] = accepted_vis_.try_emplace(dial_key, 0);
+    auto [acc, fresh] =
+        accepted_vis_.try_emplace(dial_key, AcceptedDial{0, h.epoch});
+    if (!fresh && acc->second.epoch != h.epoch) {
+      acc->second = AcceptedDial{0, h.epoch};
+      fresh = true;
+      counters_.inc("conn_reincarnated");
+    }
     if (fresh) {
       Vi& vi = create_vi();
-      acc->second = vi.id();
+      acc->second.vi = vi.id();
       vi.remote_node_ = f.src;
       vi.remote_vi_ = h.src_vi;
+      vi.remote_epoch_ = h.epoch;
       vi.connected_ = true;
       it->second->push(&vi);
     } else {
@@ -517,8 +574,11 @@ void KernelAgent::rx_connect(const ViaHeader& h, const net::Frame& f) {
     }
     ViaHeader ack;
     ack.kind = MsgKind::kConnAck;
-    ack.src_vi = acc->second;
+    ack.src_vi = acc->second.vi;
     ack.dst_vi = h.src_vi;
+    // Pin the ack to the incarnation that dialed: if the dialer crashed and
+    // rebooted meanwhile, this ack must not complete the new dial.
+    ack.dst_epoch = h.epoch;
     kernel_post(make_frame(f.src, ack, {}));
     return;
   }
@@ -534,6 +594,7 @@ void KernelAgent::rx_connect(const ViaHeader& h, const net::Frame& f) {
     return;
   }
   vi.remote_vi_ = h.src_vi;
+  vi.remote_epoch_ = h.epoch;
   vi.connected_ = true;
   vi.conn_done_.fire();
 }
@@ -545,6 +606,7 @@ void KernelAgent::send_ack(Vi& vi) {
   h.src_vi = vi.id();
   h.dst_vi = vi.remote_vi();
   h.ack_seq = vi.expected_seq_;
+  h.dst_epoch = vi.remote_epoch_;
   kernel_post(make_frame(vi.remote_node_, h, {}));
 }
 
@@ -576,6 +638,80 @@ void KernelAgent::fail_vi(Vi& vi, ViError err) {
   if (vi.on_error_) vi.on_error_(vi, err);
   // A dial still waiting on the handshake resolves now (with failed() set).
   vi.conn_done_.fire();
+}
+
+// --------------------------------------------------------------------------
+// Node-failure lifecycle
+// --------------------------------------------------------------------------
+
+void KernelAgent::power_fail() {
+  if (!powered_) return;
+  powered_ = false;
+  counters_.inc("node_crashes");
+  MESHMP_TRACE_INSTANT(node_.cpu().engine(), obs::Cat::kVia, me_,
+                       "node_crash");
+  // Every connection dies with the host. fail_vi wakes local blockers with a
+  // structured error completion so the node's own coroutines unwind instead
+  // of hanging, and upper layers (mp::Endpoint) quiesce their channel state
+  // through the error handler.
+  for (auto& vi : vis_) {
+    vi->unacked_.clear();  // retransmit window is gone with the host's RAM
+    vi->frames_since_ack_ = 0;
+    vi->rx_ = Vi::Reassembly{};  // half-reassembled messages die with RAM too
+    fail_vi(*vi, ViError::kUnreachable);
+  }
+  // In-progress kernel collectives are lost; interior forwarding state has
+  // no local waiter, so dropping it is safe.
+  kcolls_.clear();
+  // Accepted-but-unreaped connections must not be handed to the next
+  // incarnation's accept() calls.
+  for (auto& [service, q] : accept_queues_) {
+    while (q->try_pop()) {
+    }
+  }
+  clear_route_table();
+}
+
+void KernelAgent::power_restore() {
+  if (powered_) return;
+  powered_ = true;
+  ++epoch_;  // the new incarnation: stale frames no longer match
+  // A fresh host has no connection memory; re-dials from peers (which also
+  // carry their own epochs) get fresh accepts.
+  accepted_vis_.clear();
+  counters_.inc("node_restarts");
+  MESHMP_TRACE_INSTANT(node_.cpu().engine(), obs::Cat::kVia, me_,
+                       "node_restart");
+}
+
+void KernelAgent::peer_declared_dead(net::NodeId peer) {
+  for (auto& vi : vis_) {
+    if (vi->remote_node_ == peer && !vi->failed_) {
+      // The failure detector confirmed the peer dead: error-complete now
+      // rather than waiting out the full retransmit budget.
+      vi->unacked_.clear();
+      fail_vi(*vi, ViError::kUnreachable);
+    }
+  }
+}
+
+void KernelAgent::set_route_table(std::vector<std::int8_t> table) {
+  assert(table.size() == static_cast<std::size_t>(torus_.size()));
+  route_table_ = std::move(table);
+  counters_.inc("route_table_installs");
+}
+
+void KernelAgent::clear_route_table() { route_table_.clear(); }
+
+void KernelAgent::send_control(net::NodeId dst, MsgKind kind,
+                               buf::Slice payload, std::uint64_t immediate) {
+  if (!powered_) return;
+  ViaHeader h;
+  h.kind = kind;
+  h.immediate = immediate;
+  counters_.inc(kind == MsgKind::kHeartbeat ? "tx_heartbeats"
+                                            : "tx_membership");
+  kernel_post(make_frame(dst, h, std::move(payload)));
 }
 
 sim::Duration KernelAgent::backoff_delay(const Vi& vi) {

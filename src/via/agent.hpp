@@ -11,6 +11,7 @@
 // (paper sec. 4 and 5.1).
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -81,6 +82,49 @@ class KernelAgent final : public hw::NicDriver {
   [[nodiscard]] topo::DirMask failed_dirs() const noexcept {
     return failed_dirs_;
   }
+
+  // -- node-failure lifecycle --------------------------------------------
+  /// Whole-node crash: every VI fails with kUnreachable (waking local
+  /// blockers so nothing hangs and upper layers quiesce their state), the
+  /// retransmit windows and kernel-collective state are discarded. The NICs
+  /// are powered off separately by the cluster fabric.
+  void power_fail();
+  /// Cold boot after power_fail(): bumps the node's incarnation epoch so
+  /// frames retransmitted by (or to) the previous incarnation are
+  /// identifiable as stale, and forgets accepted-dial dedup state — a fresh
+  /// host has no connection memory.
+  void power_restore();
+  [[nodiscard]] bool powered() const noexcept { return powered_; }
+  /// This node's incarnation number (bumped by every power_restore()).
+  [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
+
+  /// Fast-fails every VI connected to `peer` with kUnreachable: the failure
+  /// detector confirmed the peer dead, so traffic to it error-completes now
+  /// instead of burning through the full retransmit budget.
+  void peer_declared_dead(net::NodeId peer);
+
+  /// Installs a per-destination first-hop table (dir index per rank, -1 =
+  /// unreachable) that overrides per-frame SDF while set. Used for
+  /// degraded-mode routing around confirmed-dead nodes; cleared when the
+  /// mesh heals. The table is consulted before the SDF/detour path; a table
+  /// hop whose local link is itself down falls back to the mask-aware path.
+  void set_route_table(std::vector<std::int8_t> table);
+  void clear_route_table();
+  [[nodiscard]] bool has_route_table() const noexcept {
+    return !route_table_.empty();
+  }
+
+  /// Handler for lifecycle control frames (kHeartbeat/kMembership) addressed
+  /// to this node. Runs at ISR level; implementations must not block.
+  using ControlHandler =
+      std::function<void(const ViaHeader&, net::NodeId, const buf::Slice&)>;
+  void set_control_handler(ControlHandler fn) {
+    control_handler_ = std::move(fn);
+  }
+  /// Fire-and-forget control frame (heartbeat / membership flood record).
+  /// Unreliable by design: the detector tolerates lost probes.
+  void send_control(net::NodeId dst, MsgKind kind, buf::Slice payload,
+                    std::uint64_t immediate = 0);
 
   [[nodiscard]] const sim::Counters& counters() const noexcept {
     return counters_;
@@ -165,13 +209,23 @@ class KernelAgent final : public hw::NicDriver {
   std::unordered_map<int, hw::Nic*> nic_by_dir_;
   std::unordered_map<const hw::Nic*, int> dir_of_nic_;
   topo::DirMask failed_dirs_ = 0;
+  bool powered_ = true;
+  std::uint32_t epoch_ = 0;
+  std::vector<std::int8_t> route_table_;  ///< first-hop dir per rank, -1 dead
+  ControlHandler control_handler_;
   std::vector<std::unique_ptr<Vi>> vis_;
   std::unordered_map<std::uint32_t,
                      std::unique_ptr<sim::Queue<Vi*>>>
       accept_queues_;  // keyed by service
   // Dials re-send kConnReq, so a duplicate must re-ack the already-accepted
-  // VI instead of accepting a second one. Keyed (dialer node, dialer VI).
-  std::unordered_map<std::uint64_t, std::uint32_t> accepted_vis_;
+  // VI instead of accepting a second one — unless the duplicate comes from a
+  // newer incarnation of the dialer, which gets a fresh accept. Keyed
+  // (dialer node, dialer VI).
+  struct AcceptedDial {
+    std::uint32_t vi = 0;
+    std::uint32_t epoch = 0;
+  };
+  std::unordered_map<std::uint64_t, AcceptedDial> accepted_vis_;
   std::unordered_map<std::uint64_t, KernelColl> kcolls_;  // (root, seq)
 
   sim::Counters counters_;

@@ -16,6 +16,9 @@ enum class MsgKind : std::uint8_t {
   // Interrupt-level collective prototype (paper sec. 7 future work):
   kKernelReduce,  ///< partial sum travelling up the spanning tree
   kKernelBcast,   ///< combined result travelling back down
+  // Node-failure lifecycle (cluster::ClusterLifecycle control plane):
+  kHeartbeat,   ///< neighbour liveness probe (unreliable, fire-and-forget)
+  kMembership,  ///< membership-delta flood record batch
 };
 
 struct ViaHeader {
@@ -27,6 +30,15 @@ struct ViaHeader {
   std::uint64_t seq = 0;
   /// Cumulative ack: all frames with seq < ack_seq are acknowledged.
   std::uint64_t ack_seq = 0;
+
+  // -- incarnation fencing --
+  /// Sender's node incarnation. A restarted node bumps its epoch, so frames
+  /// (including retransmits) from the previous incarnation are identifiable.
+  std::uint32_t epoch = 0;
+  /// Receiver incarnation the sender believes it is talking to (0 = any,
+  /// used by connection dialogue and epoch-less control traffic). A receiver
+  /// whose epoch moved past this drops the frame as stale.
+  std::uint32_t dst_epoch = 0;
 
   // -- message framing (kData) --
   std::uint32_t msg_id = 0;

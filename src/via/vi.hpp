@@ -137,6 +137,10 @@ class Vi {
   bool connected_ = false;
   net::NodeId remote_node_ = -1;
   std::uint32_t remote_vi_ = 0;
+  /// Peer incarnation this connection was established with. Frames stamped
+  /// with a different sender epoch are stale retransmits from a previous
+  /// incarnation and are discarded.
+  std::uint32_t remote_epoch_ = 0;
   sim::Trigger conn_done_;
 
   // descriptors and completions. The posted/consumed totals back the audit's

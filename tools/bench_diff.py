@@ -8,9 +8,14 @@ wall-clock is the only machine-dependent field; it gets a ratio budget so the
 gate still catches order-of-magnitude simulator-throughput regressions
 without flaking on slower CI machines.
 
+With --additive-metrics, metric keys that exist only in the fresh report are
+allowed (listed as NEW, not fatal): a PR that adds a counter or histogram
+shouldn't spuriously break the gate. Removed keys and value drift on shared
+keys stay fatal either way; result rows are always compared exactly.
+
 Usage:
   tools/bench_diff.py --baseline-dir bench/baselines --fresh-dir . \
-      [--host-ratio 25.0] [--write-report diff_report.txt]
+      [--host-ratio 25.0] [--additive-metrics] [--write-report diff_report.txt]
 
 Exit status: 0 when every baseline matches, 1 on any mismatch or missing
 fresh report.
@@ -54,16 +59,20 @@ def diff_rows(base_rows, fresh_rows):
     return bad
 
 
-def diff_metrics(base, fresh):
-    bad = []
+def diff_metrics(base, fresh, additive=False):
+    """Returns (fatal mismatches, fresh-only keys tolerated by additive mode)."""
+    bad, new = [], []
     bleaves = dict(flatten_metrics(base))
     fleaves = dict(flatten_metrics(fresh))
     for k in sorted(set(bleaves) | set(fleaves)):
+        if additive and k not in bleaves:
+            new.append(k)
+            continue
         bv = bleaves.get(k, "<missing>")
         fv = fleaves.get(k, "<missing>")
         if bv != fv:
             bad.append((f"metrics.{k}", bv, fv))
-    return bad
+    return bad, new
 
 
 def fmt_table(title, mismatches, limit=20):
@@ -77,11 +86,13 @@ def fmt_table(title, mismatches, limit=20):
     return "\n".join(lines)
 
 
-def check_bench(name, base_path, fresh_path, host_ratio, report):
+def check_bench(name, base_path, fresh_path, host_ratio, additive, report):
     base = load(base_path)
     fresh = load(fresh_path)
     mism = diff_rows(base.get("rows", []), fresh.get("rows", []))
-    mism += diff_metrics(base.get("metrics", {}), fresh.get("metrics", {}))
+    metric_mism, new_keys = diff_metrics(
+        base.get("metrics", {}), fresh.get("metrics", {}), additive)
+    mism += metric_mism
 
     host_note = ""
     bh, fh = base.get("host_seconds", 0.0), fresh.get("host_seconds", 0.0)
@@ -96,6 +107,13 @@ def check_bench(name, base_path, fresh_path, host_ratio, report):
     report.append(f"PASS {name}: {len(base.get('rows', []))} rows exact, "
                   f"{len(flatten_metrics(base.get('metrics', {})))} metric leaves exact"
                   f"{host_note}")
+    if new_keys:
+        report.append(f"  NEW  {name}: {len(new_keys)} metric leaf(s) not in the "
+                      "baseline (allowed by --additive-metrics; re-record to adopt):")
+        for k in new_keys[:20]:
+            report.append(f"       + {k}")
+        if len(new_keys) > 20:
+            report.append(f"       ... and {len(new_keys) - 20} more")
     return True
 
 
@@ -105,6 +123,10 @@ def main():
     ap.add_argument("--fresh-dir", default=".")
     ap.add_argument("--host-ratio", type=float, default=25.0,
                     help="fresh host_seconds may be at most this multiple of baseline")
+    ap.add_argument("--additive-metrics", action="store_true",
+                    help="tolerate metric keys that exist only in the fresh "
+                         "report (new counters/histograms); removals and value "
+                         "drift stay fatal")
     ap.add_argument("--write-report", default=None,
                     help="also write the human-readable diff report to this file")
     ap.add_argument("benches", nargs="*",
@@ -135,7 +157,8 @@ def main():
             report.append(f"FAIL {name}: bench did not produce {fresh_path}")
             ok = False
             continue
-        ok &= check_bench(name, base_path, fresh_path, args.host_ratio, report)
+        ok &= check_bench(name, base_path, fresh_path, args.host_ratio,
+                          args.additive_metrics, report)
 
     text = "\n".join(report)
     print(text)
