@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "buf/copy.hpp"
 #include "flt/fault.hpp"
 #include "mpi/mpi.hpp"
 #include "obs/metrics.hpp"
@@ -32,6 +33,10 @@ BenchReport::BenchReport(std::string name)
   // before the report is constructed), and honour MESHMP_TRACE if the tracer
   // is compiled in.
   obs::Registry::instance().reset();
+  // Copy accounting restarts with the bench too, so the charged_copies /
+  // charged_bytes the report publishes are this bench's alone and the
+  // baselines pin the exact modeled-copy count of each figure.
+  buf::reset_copy_stats();
   obs::trace_init_from_env();
 }
 
@@ -64,7 +69,15 @@ BenchReport::~BenchReport() {
   std::fprintf(f, "  ],\n");
   // Full registry view (live + retired): per-layer counters and histogram
   // summaries travel with the modeled rows so regressions in *why* numbers
-  // moved are diffable, not just the numbers themselves.
+  // moved are diffable, not just the numbers themselves. The charge_copy
+  // tally rides along as buf.copy.* — an unreviewed extra copy on a modeled
+  // path shows up as exact-counter drift in the bench_diff gate.
+  const buf::CopyStats cs = buf::copy_stats();
+  obs::Counters copy_counters;
+  copy_counters.inc("charged_copies", static_cast<std::int64_t>(cs.copies));
+  copy_counters.inc("charged_bytes", static_cast<std::int64_t>(cs.bytes));
+  const auto copy_reg =
+      obs::Registry::instance().attach("buf.copy", &copy_counters);
   const std::string metrics = obs::Registry::instance().snapshot().to_json(2);
   std::fprintf(f, "  \"metrics\": %s\n}\n", metrics.c_str());
   std::fclose(f);

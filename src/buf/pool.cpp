@@ -122,26 +122,20 @@ std::uint32_t Slice::crc() const {
 
 Buffer& Buffer::operator=(Buffer&& other) noexcept {
   if (this == &other) return *this;
-  if (live_) {
-    Pool::instance().recycle(std::move(vec_));
-    --Pool::instance().outstanding_;
-  }
+  if (live_) Pool::instance().give_back(std::move(vec_));
   vec_ = std::move(other.vec_);
   live_ = std::exchange(other.live_, false);
   return *this;
 }
 
 Buffer::~Buffer() {
-  if (live_) {
-    Pool::instance().recycle(std::move(vec_));
-    --Pool::instance().outstanding_;
-  }
+  if (live_) Pool::instance().give_back(std::move(vec_));
 }
 
 std::vector<std::byte> Buffer::release() && {
   if (live_) {
     live_ = false;
-    --Pool::instance().outstanding_;
+    Pool::instance().disown_one();
   }
   return std::move(vec_);
 }
@@ -154,25 +148,35 @@ Pool& Pool::instance() {
 }
 
 Pool::Pool()
-    : audit_reg_(chk::Audit::instance().watch("buf.pool", [this] {
-        if (outstanding_ != 0) {
-          chk::Audit::instance().fail(
-              "buf.pool", std::to_string(outstanding_) +
-                              " pooled buffer(s)/slice(s) not returned");
-        }
-      })) {}
+    : audit_reg_(chk::Audit::instance().watch(
+          "buf.pool", [this] { audit_outstanding(); })) {}
+
+void Pool::audit_outstanding() const {
+  chk::SimLockGuard g(pool_mu_);
+  if (outstanding_ != 0) {
+    chk::Audit::instance().fail(
+        "buf.pool", std::to_string(outstanding_) +
+                        " pooled buffer(s)/slice(s) not returned");
+  }
+}
 
 Buffer Pool::get(std::size_t bytes) {
-  std::vector<std::byte> v = obtain(bytes);
+  std::vector<std::byte> v;
+  {
+    chk::SimLockGuard g(pool_mu_);
+    v = obtain(bytes);
+    ++outstanding_;
+  }
   // Zero-fill recycled storage so stale bytes can never leak into a fresh
   // message; also preserves the seed's "reassembly starts zeroed" behavior.
+  // Host byte work happens outside the pool lock.
   v.assign(bytes, std::byte{0});
-  ++outstanding_;
   return Buffer(std::move(v));
 }
 
 Slice Pool::stage(std::span<const std::byte> src) {
   if (src.empty()) return {};
+  chk::SimLockGuard g(pool_mu_);
   std::vector<std::byte> v = obtain(src.size());
   v.assign(src.begin(), src.end());
   return wrap(std::move(v));
@@ -180,6 +184,7 @@ Slice Pool::stage(std::span<const std::byte> src) {
 
 Slice Pool::adopt(std::vector<std::byte> v) {
   if (v.empty()) return {};
+  chk::SimLockGuard g(pool_mu_);
   ++stats_.adopts;
   return wrap(std::move(v));
 }
@@ -215,8 +220,22 @@ Slice Pool::wrap(std::vector<std::byte> v) {
 }
 
 void Pool::retire(detail::Ctrl* ctrl) noexcept {
-  recycle(std::move(ctrl->bytes));
+  {
+    chk::SimLockGuard g(pool_mu_);
+    recycle(std::move(ctrl->bytes));
+    --outstanding_;
+  }
   delete ctrl;
+}
+
+void Pool::give_back(std::vector<std::byte> v) noexcept {
+  chk::SimLockGuard g(pool_mu_);
+  recycle(std::move(v));
+  --outstanding_;
+}
+
+void Pool::disown_one() noexcept {
+  chk::SimLockGuard g(pool_mu_);
   --outstanding_;
 }
 

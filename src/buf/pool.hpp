@@ -22,8 +22,12 @@
 //
 // Storage vectors are recycled through per-capacity-class free lists
 // (class k holds capacities in [2^k, 2^(k+1))), so steady-state traffic
-// performs no heap allocation for payload bytes. The pool is single-threaded
-// by design, like the event engine it serves.
+// performs no heap allocation for payload bytes. The pool runs on the
+// engine's single thread today, but it is process-wide shared state under a
+// future PDES engine, so the free lists, the outstanding count and the
+// stats are already guarded by pool_mu_ (a zero-cost chk::SimLock).
+// Slice refcounts stay non-atomic deliberately: payload views are owned by
+// one logical partition at a time, the locked boundary is the pool itself.
 //
 // A chk::Audit validator ("buf.pool") reports any Buffer or Slice not
 // returned at quiesce, catching leaked references in protocol state.
@@ -35,6 +39,7 @@
 #include <vector>
 
 #include "chk/audit.hpp"
+#include "chk/thread_annotations.hpp"
 
 namespace meshmp::buf {
 
@@ -145,8 +150,9 @@ class Buffer {
   bool live_ = false;
 };
 
-/// Process-wide storage pool. Single-threaded, deterministic: pool state
-/// never feeds back into simulation decisions, only into host allocation.
+/// Process-wide storage pool. Deterministic: pool state never feeds back
+/// into simulation decisions, only into host allocation.
+// meshmp-lint: shared-state
 class Pool {
  public:
   static Pool& instance();
@@ -165,6 +171,7 @@ class Pool {
   /// Buffers plus storage blocks currently out of the pool. Zero at quiesce
   /// when no protocol state leaks references (audited as "buf.pool").
   [[nodiscard]] std::size_t outstanding() const noexcept {
+    chk::SimLockGuard g(pool_mu_);
     return outstanding_;
   }
 
@@ -173,7 +180,10 @@ class Pool {
     std::uint64_t pool_misses = 0;  ///< storage freshly allocated
     std::uint64_t adopts = 0;       ///< vectors adopted without copy
   };
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Stats stats() const noexcept {
+    chk::SimLockGuard g(pool_mu_);
+    return stats_;
+  }
 
  private:
   friend class Slice;
@@ -181,19 +191,30 @@ class Pool {
 
   Pool();
 
-  /// A vector with capacity >= bytes and unspecified size/contents.
-  std::vector<std::byte> obtain(std::size_t bytes);
-  void recycle(std::vector<std::byte> v) noexcept;
-  Slice wrap(std::vector<std::byte> v);
-  void retire(detail::Ctrl* ctrl) noexcept;
+  /// Quiesce validator body (named so the analysis sees the acquisition).
+  void audit_outstanding() const;
 
+  /// A vector with capacity >= bytes and unspecified size/contents.
+  std::vector<std::byte> obtain(std::size_t bytes) MESHMP_REQUIRES(pool_mu_);
+  void recycle(std::vector<std::byte> v) noexcept MESHMP_REQUIRES(pool_mu_);
+  Slice wrap(std::vector<std::byte> v) MESHMP_REQUIRES(pool_mu_);
+  /// Drops the last reference's storage back into the free lists.
+  void retire(detail::Ctrl* ctrl) noexcept;
+  /// Returns a live Buffer's storage at teardown (locked recycle).
+  void give_back(std::vector<std::byte> v) noexcept;
+  /// Removes one buffer from the outstanding count without returning its
+  /// storage — Buffer::release() steals the bytes.
+  void disown_one() noexcept;
+
+  mutable chk::SimLock pool_mu_;
   // Free lists bucketed by capacity class: free_[k] holds vectors whose
   // capacity is in [2^k, 2^(k+1)), so any entry satisfies requests <= 2^k.
   static constexpr std::size_t kClasses = 48;
   static constexpr std::size_t kMaxFreePerClass = 64;
-  std::array<std::vector<std::vector<std::byte>>, kClasses> free_{};
-  std::size_t outstanding_ = 0;
-  Stats stats_{};
+  std::array<std::vector<std::vector<std::byte>>, kClasses> free_
+      MESHMP_GUARDED_BY(pool_mu_){};
+  std::size_t outstanding_ MESHMP_GUARDED_BY(pool_mu_) = 0;
+  Stats stats_ MESHMP_GUARDED_BY(pool_mu_){};
   chk::Audit::Registration audit_reg_;
 };
 

@@ -12,36 +12,59 @@ Audit& Audit::instance() {
 
 void Audit::Registration::release() noexcept {
   if (id_ != 0) {
-    Audit::instance().entries_.erase(id_);
+    Audit::instance().unwatch(id_);
     id_ = 0;
   }
 }
 
+void Audit::unwatch(std::uint64_t id) noexcept {
+  chk::SimLockGuard g(audit_mu_);
+  entries_.erase(id);
+}
+
 Audit::Registration Audit::watch(std::string label, Validator validator) {
+  chk::SimLockGuard g(audit_mu_);
   const std::uint64_t id = next_id_++;
   entries_.emplace(id, Entry{std::move(label), std::move(validator)});
   return Registration{id};
 }
 
 std::size_t Audit::quiesce() {
-  const std::size_t before = violations_.size();
-  // Validators may not (un)register during the sweep; iterate over a copy of
-  // the ids so object teardown inside a handler cannot invalidate iterators.
+  // Snapshot the ids under the lock, then run each validator outside it:
+  // validators call fail() (which re-acquires the lock) and object teardown
+  // inside a handler may unregister, so neither may run under audit_mu_.
+  std::size_t before = 0;
   std::vector<std::uint64_t> ids;
-  ids.reserve(entries_.size());
-  for (const auto& [id, entry] : entries_) ids.push_back(id);
-  for (std::uint64_t id : ids) {
-    auto it = entries_.find(id);
-    if (it != entries_.end()) it->second.validator();
+  {
+    chk::SimLockGuard g(audit_mu_);
+    before = violations_.size();
+    ids.reserve(entries_.size());
+    for (const auto& [id, entry] : entries_) ids.push_back(id);
   }
+  for (std::uint64_t id : ids) {
+    Validator v;
+    {
+      chk::SimLockGuard g(audit_mu_);
+      auto it = entries_.find(id);
+      if (it == entries_.end()) continue;  // unregistered mid-sweep
+      v = it->second.validator;
+    }
+    v();
+  }
+  chk::SimLockGuard g(audit_mu_);
   return violations_.size() - before;
 }
 
 void Audit::fail(std::string label, std::string message) {
   Violation v{std::move(label), std::move(message)};
-  violations_.push_back(v);
-  if (handler_) {
-    handler_(v);
+  Handler h;
+  {
+    chk::SimLockGuard g(audit_mu_);
+    violations_.push_back(v);
+    h = handler_;
+  }
+  if (h) {
+    h(v);
     return;
   }
   std::fprintf(stderr, "meshmp audit violation [%s]: %s\n", v.label.c_str(),
@@ -50,6 +73,7 @@ void Audit::fail(std::string label, std::string message) {
 }
 
 Audit::Handler Audit::exchange_handler(Handler h) {
+  chk::SimLockGuard g(audit_mu_);
   Handler old = std::move(handler_);
   handler_ = std::move(h);
   return old;

@@ -22,6 +22,8 @@
 #include <utility>
 #include <vector>
 
+#include "chk/thread_annotations.hpp"
+
 namespace meshmp::chk {
 
 /// One detected invariant violation.
@@ -30,9 +32,14 @@ struct Violation {
   std::string message;  ///< what broke, with the observed values
 };
 
+/// Process-wide validator registry. The entry table, violation log and
+/// failure handler are guarded by audit_mu_ (a zero-cost chk::SimLock until
+/// the PDES engine lands); validators and handlers always run *outside* the
+/// lock so they can re-enter fail()/unwatch() without self-deadlocking once
+/// the lock is real.
+// meshmp-lint: shared-state
 class Audit {
  public:
-  /// Process-wide registry (the simulator is single-threaded).
   static Audit& instance();
 
   /// Hot-path guard for inline checks. Off by default: enabling is the
@@ -81,10 +88,16 @@ class Audit {
   /// default handler prints a labelled report and aborts.
   void fail(std::string label, std::string message);
 
+  /// The recorded violations. Reading the returned reference is the calling
+  /// partition's to serialize (test-only accessor).
   [[nodiscard]] const std::vector<Violation>& violations() const noexcept {
+    chk::SimLockGuard g(audit_mu_);
     return violations_;
   }
-  void clear_violations() { violations_.clear(); }
+  void clear_violations() {
+    chk::SimLockGuard g(audit_mu_);
+    violations_.clear();
+  }
 
   using Handler = std::function<void(const Violation&)>;
   /// Swaps the failure handler; returns the previous one (empty = default
@@ -99,12 +112,18 @@ class Audit {
 
   Audit() = default;
 
+  /// Locked unregistration (Registration::release goes through here so the
+  /// entry table is never touched without the capability).
+  void unwatch(std::uint64_t id) noexcept;
+
   static inline bool enabled_ = false;
 
-  std::uint64_t next_id_ = 1;
-  std::map<std::uint64_t, Entry> entries_;  // ordered -> deterministic runs
-  std::vector<Violation> violations_;
-  Handler handler_;
+  mutable chk::SimLock audit_mu_;
+  std::uint64_t next_id_ MESHMP_GUARDED_BY(audit_mu_) = 1;
+  // ordered -> deterministic runs
+  std::map<std::uint64_t, Entry> entries_ MESHMP_GUARDED_BY(audit_mu_);
+  std::vector<Violation> violations_ MESHMP_GUARDED_BY(audit_mu_);
+  Handler handler_ MESHMP_GUARDED_BY(audit_mu_);
 };
 
 /// Test helper: while alive, violations are recorded instead of aborting.

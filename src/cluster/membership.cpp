@@ -72,6 +72,8 @@ std::vector<std::byte> MembershipView::encode(
   for (const MemberRecord& rec : recs) {
     const auto rank = static_cast<std::int32_t>(rec.rank);
     const auto state = static_cast<std::uint8_t>(rec.st.state);
+    // meshmp-lint: host-copy(gossip record codec; control traffic bills lump
+    // per-frame host costs, not per-byte copies)
     std::memcpy(p, &rank, 4);
     std::memcpy(p + 4, &state, 1);
     std::memcpy(p + 5, &rec.st.incarnation, 4);
@@ -91,6 +93,7 @@ std::vector<MemberRecord> MembershipView::decode(const std::byte* data,
     MemberRecord rec;
     std::int32_t rank = 0;
     std::uint8_t state = 0;
+    // meshmp-lint: host-copy(gossip record decode; see encode above)
     std::memcpy(&rank, p, 4);
     std::memcpy(&state, p + 4, 1);
     std::memcpy(&rec.st.incarnation, p + 5, 4);

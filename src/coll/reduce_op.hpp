@@ -31,6 +31,8 @@ void combine_typed(std::span<std::byte> acc, std::span<const std::byte> in,
   for (std::size_t i = 0; i < n; ++i) {
     T a;
     T b;
+    // meshmp-lint: host-copy(type-punned element loads/stores of the combine
+    // arithmetic, not a payload move; no bytes change buffers here)
     std::memcpy(&a, acc.data() + i * sizeof(T), sizeof(T));
     std::memcpy(&b, in.data() + i * sizeof(T), sizeof(T));
     a = f(a, b);

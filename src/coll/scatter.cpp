@@ -28,6 +28,8 @@ struct RouteHead {
 std::vector<std::byte> wrap(const RouteHead& head,
                             std::span<const std::byte> payload) {
   std::vector<std::byte> out(sizeof(RouteHead) + payload.size());
+  // meshmp-lint: host-copy(routing-header marshalling; wire time is modeled
+  // when the wrapped message enters the endpoint send path)
   std::memcpy(out.data(), &head, sizeof(RouteHead));
   if (!payload.empty()) {
     std::memcpy(out.data() + sizeof(RouteHead), payload.data(),
@@ -41,6 +43,7 @@ RouteHead head_of(const std::vector<std::byte>& msg) {
     throw std::runtime_error("scatter: truncated routing header");
   }
   RouteHead h;
+  // meshmp-lint: host-copy(header peek; fixed 16-byte decode)
   std::memcpy(&h, msg.data(), sizeof(RouteHead));
   return h;
 }
@@ -106,6 +109,7 @@ topo::Rank advance(const topo::Torus& t, topo::Rank me,
   }
   const topo::Dir dir = topo::Dir::from_index(h.dirs[h.hop_idx]);
   ++h.hop_idx;
+  // meshmp-lint: host-copy(in-place header rewrite while forwarding)
   std::memcpy(msg.data(), &h, sizeof(RouteHead));
   auto next = t.neighbor(me, dir);
   assert(next);

@@ -87,8 +87,8 @@ void Injector::validate() const {
   });
 
   // Open-window times per (port, fault class); -1 means closed.
-  std::unordered_map<std::uint64_t, sim::Time> open;
-  std::unordered_map<topo::Rank, sim::Time> down_since;
+  chk::FlatMap<std::uint64_t, sim::Time> open;
+  chk::FlatMap<topo::Rank, sim::Time> down_since;
   const auto wkey = [](const FaultEvent& ev, std::uint64_t cls) {
     return (cls << 48) | port_key(ev.node, ev.dir);
   };

@@ -11,9 +11,9 @@
 // checker: rebuild the scenario, replay the same schedule, compare digests.
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "chk/flat_map.hpp"
 #include "cluster/gige_mesh.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -142,9 +142,10 @@ class Injector {
 
   cluster::GigeMeshCluster& cluster_;
   Schedule schedule_;
-  // Pre-burst wire parameters, restored when the window closes.
-  std::unordered_map<std::uint64_t, double> saved_drop_;
-  std::unordered_map<std::uint64_t, double> saved_corrupt_;
+  // Pre-burst wire parameters, restored when the window closes. Flat maps:
+  // fault state must never introduce hash-order nondeterminism.
+  chk::FlatMap<std::uint64_t, double> saved_drop_;
+  chk::FlatMap<std::uint64_t, double> saved_corrupt_;
   sim::Counters counters_;
 };
 

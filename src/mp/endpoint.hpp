@@ -23,11 +23,11 @@
 #include <deque>
 #include <optional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "buf/pool.hpp"
 #include "chk/audit.hpp"
+#include "chk/flat_map.hpp"
 #include "mp/params.hpp"
 #include "mp/wire.hpp"
 #include "obs/metrics.hpp"
@@ -209,9 +209,12 @@ class Endpoint {
   via::KernelAgent& agent_;
   CoreParams params_;
 
-  std::unordered_map<int, std::unique_ptr<OutChannel>> out_;
-  std::unordered_map<std::uint32_t, OutChannel*> out_by_vi_;  // local vi id
-  std::unordered_map<int, std::vector<std::unique_ptr<InVi>>> in_;
+  // Flat maps: audit_quiesce and fail_channel iterate these, and wake order
+  // must not depend on hash-bucket layout. Channel/InVi objects sit behind
+  // unique_ptr, so references survive map growth.
+  chk::FlatMap<int, std::unique_ptr<OutChannel>> out_;
+  chk::FlatMap<std::uint32_t, OutChannel*> out_by_vi_;  // local vi id
+  chk::FlatMap<int, std::vector<std::unique_ptr<InVi>>> in_;
 
   std::deque<std::shared_ptr<PostedRecv>> posted_;
   std::deque<Unexpected> unexpected_;
@@ -220,9 +223,8 @@ class Endpoint {
   // shared_ptr: handle_rtr may still be mid-flight on an entry when a channel
   // failure completes (and erases) the owning send.
   std::uint32_t next_rndv_id_ = 1;
-  std::unordered_map<std::uint32_t, std::shared_ptr<PendingRndvSend>>
-      pending_rndv_;
-  std::unordered_map<std::uint64_t, RndvRecv> rndv_recv_;
+  chk::FlatMap<std::uint32_t, std::shared_ptr<PendingRndvSend>> pending_rndv_;
+  chk::FlatMap<std::uint64_t, RndvRecv> rndv_recv_;
 
   sim::Counters counters_;
   chk::Audit::Registration audit_reg_;

@@ -67,6 +67,8 @@ template <typename T>
 std::vector<std::byte> serialize(const T& v) {
   static_assert(std::is_trivially_copyable_v<T>);
   std::vector<std::byte> out(sizeof(T));
+  // meshmp-lint: host-copy(control-message codec: RTS/RTR/FIN/credit bodies
+  // are tens of bytes and ride frames whose costs are modeled per frame)
   std::memcpy(out.data(), &v, sizeof(T));
   return out;
 }
@@ -78,6 +80,7 @@ T deserialize(const std::vector<std::byte>& bytes) {
     throw std::runtime_error("mp::deserialize: size mismatch");
   }
   T v;
+  // meshmp-lint: host-copy(control-message decode; see serialize above)
   std::memcpy(&v, bytes.data(), sizeof(T));
   return v;
 }

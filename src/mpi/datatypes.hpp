@@ -17,6 +17,8 @@ template <typename T>
 std::vector<std::byte> to_bytes(const std::vector<T>& v) {
   static_assert(std::is_trivially_copyable_v<T>);
   std::vector<std::byte> out(v.size() * sizeof(T));
+  // meshmp-lint: host-copy(typed<->byte marshalling at the MPI boundary; the
+  // modeled data path charges when these bytes enter a bounce/RMA buffer)
   if (!v.empty()) std::memcpy(out.data(), v.data(), out.size());
   return out;
 }
@@ -25,6 +27,7 @@ template <typename T>
 std::vector<std::byte> to_bytes(const T& v) {
   static_assert(std::is_trivially_copyable_v<T>);
   std::vector<std::byte> out(sizeof(T));
+  // meshmp-lint: host-copy(scalar marshalling at the MPI boundary)
   std::memcpy(out.data(), &v, sizeof(T));
   return out;
 }
@@ -36,6 +39,7 @@ std::vector<T> from_bytes(std::span<const std::byte> bytes) {
     throw std::invalid_argument("from_bytes: size not a multiple of type");
   }
   std::vector<T> out(bytes.size() / sizeof(T));
+  // meshmp-lint: host-copy(byte->typed unmarshalling at the MPI boundary)
   if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
   return out;
 }
@@ -47,6 +51,7 @@ T scalar_from_bytes(std::span<const std::byte> bytes) {
     throw std::invalid_argument("scalar_from_bytes: size mismatch");
   }
   T v;
+  // meshmp-lint: host-copy(scalar unmarshalling at the MPI boundary)
   std::memcpy(&v, bytes.data(), sizeof(T));
   return v;
 }

@@ -214,6 +214,8 @@ std::vector<std::byte> pack_chunks(
   std::vector<std::byte> out(total);
   std::size_t off = 0;
   const auto n = static_cast<std::uint32_t>(chunks.size());
+  // meshmp-lint: host-copy(gatherv chunk-framing codec; the framed payload is
+  // charged once when it enters the endpoint's bounce/RMA path)
   std::memcpy(out.data(), &n, sizeof(n));
   off += sizeof(n);
   for (const auto& c : chunks) {
@@ -229,6 +231,7 @@ std::vector<std::byte> pack_chunks(
 std::vector<std::vector<std::byte>> unpack_chunks(
     const std::vector<std::byte>& packed) {
   std::uint32_t n = 0;
+  // meshmp-lint: host-copy(gatherv chunk-framing decode)
   std::memcpy(&n, packed.data(), sizeof(n));
   std::size_t off = sizeof(n);
   std::vector<std::vector<std::byte>> chunks(n);

@@ -149,12 +149,14 @@ Registry& Registry::instance() {
 
 Registry::Registration Registry::attach(std::string group,
                                         const Counters* counters) {
+  chk::SimLockGuard g(reg_mu_);
   const std::uint64_t id = next_id_++;
   sources_.push_back(Source{id, std::move(group), counters});
   return Registration{this, id};
 }
 
 void Registry::detach(std::uint64_t id) {
+  chk::SimLockGuard g(reg_mu_);
   auto it = std::find_if(sources_.begin(), sources_.end(),
                          [id](const Source& s) { return s.id == id; });
   if (it == sources_.end()) return;
@@ -165,6 +167,7 @@ void Registry::detach(std::uint64_t id) {
 }
 
 Histogram& Registry::histogram(const std::string& name) {
+  chk::SimLockGuard g(reg_mu_);
   for (auto& [n, h] : hists_) {
     if (n == name) return *h;
   }
@@ -172,8 +175,14 @@ Histogram& Registry::histogram(const std::string& name) {
   return *hists_.back().second;
 }
 
-Snapshot Registry::snapshot() const { return snapshot_impl(true); }
-Snapshot Registry::snapshot_live() const { return snapshot_impl(false); }
+Snapshot Registry::snapshot() const {
+  chk::SimLockGuard g(reg_mu_);
+  return snapshot_impl(true);
+}
+Snapshot Registry::snapshot_live() const {
+  chk::SimLockGuard g(reg_mu_);
+  return snapshot_impl(false);
+}
 
 Snapshot Registry::snapshot_impl(bool include_retired) const {
   Counters total;
@@ -209,6 +218,7 @@ Snapshot Registry::snapshot_impl(bool include_retired) const {
 }
 
 void Registry::reset() {
+  chk::SimLockGuard g(reg_mu_);
   retired_ = Counters{};
   for (auto& [name, h] : hists_) h->reset();
 }

@@ -29,6 +29,8 @@
 #include <utility>
 #include <vector>
 
+#include "chk/thread_annotations.hpp"
+
 namespace meshmp::obs {
 
 /// Monotone counters keyed by short names. Sorted flat map: keys are kept
@@ -149,6 +151,13 @@ struct Snapshot {
 /// buf::CopyStats). Components attach their Counters under a group name for
 /// the lifetime of a Registration; same-group sources are summed in
 /// snapshots. Detaching folds the final values into retired totals.
+///
+/// The source list, retired totals and histogram intern table are guarded by
+/// reg_mu_ (a zero-cost chk::SimLock until the PDES engine lands). Two
+/// deliberate seams stay outside the lock: attached Counters objects are
+/// owned by their components, and interned Histogram references are stable
+/// (heap-owned) but their add() path is the owning partition's to serialize.
+// meshmp-lint: shared-state
 class Registry {
  public:
   class Registration {
@@ -206,12 +215,15 @@ class Registry {
 
   Registry() = default;
   void detach(std::uint64_t id);
-  [[nodiscard]] Snapshot snapshot_impl(bool include_retired) const;
+  [[nodiscard]] Snapshot snapshot_impl(bool include_retired) const
+      MESHMP_REQUIRES(reg_mu_);
 
-  std::uint64_t next_id_ = 1;
-  std::vector<Source> sources_;
-  Counters retired_;  // keyed "<group>.<key>"
-  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> hists_;
+  mutable chk::SimLock reg_mu_;
+  std::uint64_t next_id_ MESHMP_GUARDED_BY(reg_mu_) = 1;
+  std::vector<Source> sources_ MESHMP_GUARDED_BY(reg_mu_);
+  Counters retired_ MESHMP_GUARDED_BY(reg_mu_);  // keyed "<group>.<key>"
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> hists_
+      MESHMP_GUARDED_BY(reg_mu_);
 };
 
 }  // namespace meshmp::obs

@@ -328,12 +328,14 @@ std::string g_env_trace_path;  // captured by trace_init_from_env()
 }
 
 bool trace_init_from_env() {
-  const char* path = std::getenv("MESHMP_TRACE");
+  // Called once from main()/BenchReport before any cluster exists, so the
+  // mt-unsafe getenv cannot race a setenv.
+  const char* path = std::getenv("MESHMP_TRACE");  // NOLINT(concurrency-mt-unsafe)
   if (path == nullptr || *path == '\0') return false;
 #if MESHMP_OBS_TRACING
   Tracer& tr = Tracer::instance();
   tr.enable();
-  if (const char* cats = std::getenv("MESHMP_TRACE_CATS");
+  if (const char* cats = std::getenv("MESHMP_TRACE_CATS");  // NOLINT(concurrency-mt-unsafe)
       cats != nullptr && *cats != '\0') {
     std::uint32_t mask = 0;
     const char* p = cats;

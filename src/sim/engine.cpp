@@ -11,15 +11,18 @@
 namespace meshmp::sim {
 
 Engine::Engine()
-    : audit_reg_(chk::Audit::instance().watch("sim.engine", [this] {
-        if (!heap_.empty()) {
-          chk::Audit::instance().fail(
-              "sim.engine",
-              std::to_string(heap_.size()) +
-                  " event(s) still queued at quiesce (next at t=" +
-                  std::to_string(heap_.top().when) + "ns)");
-        }
-      })) {}
+    : audit_reg_(chk::Audit::instance().watch(
+          "sim.engine", [this] { audit_queue_drained(); })) {}
+
+void Engine::audit_queue_drained() const {
+  chk::SimLockGuard g(queue_mu_);
+  if (!heap_.empty()) {
+    chk::Audit::instance().fail(
+        "sim.engine", std::to_string(heap_.size()) +
+                          " event(s) still queued at quiesce (next at t=" +
+                          std::to_string(heap_.top().when) + "ns)");
+  }
+}
 
 void Engine::schedule(Duration delay, std::function<void()> fn,
                       const char* label) {
@@ -30,6 +33,7 @@ void Engine::schedule(Duration delay, std::function<void()> fn,
 void Engine::schedule_at(Time t, std::function<void()> fn,
                          const char* label) {
   if (t < now_) throw std::invalid_argument("Engine::schedule_at: time in the past");
+  chk::SimLockGuard g(queue_mu_);
   heap_.push(Event{t, next_seq_++, std::move(fn), label});
 }
 
@@ -60,28 +64,46 @@ void Engine::dispatch(Event ev) {
   ev.fn();
 }
 
+// The run loops pop under queue_mu_ but always dispatch outside it: event
+// bodies re-enter schedule_at (timers, coroutine posts), which must not
+// self-deadlock once SimLock is a real mutex.
+
 void Engine::run() {
-  while (!heap_.empty()) {
-    Event ev = heap_.top();
-    heap_.pop();
+  for (;;) {
+    Event ev{};
+    {
+      chk::SimLockGuard g(queue_mu_);
+      if (heap_.empty()) return;
+      ev = heap_.top();
+      heap_.pop();
+    }
     dispatch(std::move(ev));
   }
 }
 
 bool Engine::run_until(Time t) {
-  while (!heap_.empty() && heap_.top().when <= t) {
-    Event ev = heap_.top();
-    heap_.pop();
+  for (;;) {
+    Event ev{};
+    {
+      chk::SimLockGuard g(queue_mu_);
+      if (heap_.empty() || heap_.top().when > t) break;
+      ev = heap_.top();
+      heap_.pop();
+    }
     dispatch(std::move(ev));
   }
   now_ = t;
-  return !heap_.empty();
+  return pending() != 0;
 }
 
 bool Engine::step() {
-  if (heap_.empty()) return false;
-  Event ev = heap_.top();
-  heap_.pop();
+  Event ev{};
+  {
+    chk::SimLockGuard g(queue_mu_);
+    if (heap_.empty()) return false;
+    ev = heap_.top();
+    heap_.pop();
+  }
   dispatch(std::move(ev));
   return true;
 }

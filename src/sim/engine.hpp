@@ -6,6 +6,12 @@
 // order, where sequence is the order of scheduling. All coroutine resumptions
 // are funnelled through the queue, so two runs of the same program produce
 // identical event orders and identical results.
+//
+// Concurrency readiness: the event queue is the one structure a future
+// multicore PDES engine shares between producer threads (schedulers) and the
+// dispatch loop, so it is already written in the locked shape — pushes and
+// pops happen under queue_mu_ (a zero-cost chk::SimLock today) and event
+// bodies run outside it. now_/executed_/digest_ stay dispatch-loop-private.
 
 #include <coroutine>
 #include <cstdint>
@@ -14,10 +20,12 @@
 #include <vector>
 
 #include "chk/audit.hpp"
+#include "chk/thread_annotations.hpp"
 #include "sim/time.hpp"
 
 namespace meshmp::sim {
 
+// meshmp-lint: shared-state
 class Engine {
  public:
   Engine();
@@ -52,7 +60,10 @@ class Engine {
   bool step();
 
   /// Number of queued events.
-  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    chk::SimLockGuard g(queue_mu_);
+    return heap_.size();
+  }
 
   /// Total events executed so far (useful for complexity assertions in tests).
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
@@ -79,13 +90,18 @@ class Engine {
   };
 
   void dispatch(Event ev);
+  /// Quiesce validator body (a named method so the thread-safety analysis
+  /// sees the lock acquisition; lambdas are analyzed without lock context).
+  void audit_queue_drained() const;
 
   Time now_ = 0;
-  std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   bool digest_on_ = false;
   std::uint64_t digest_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  mutable chk::SimLock queue_mu_;
+  std::uint64_t next_seq_ MESHMP_GUARDED_BY(queue_mu_) = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_
+      MESHMP_GUARDED_BY(queue_mu_);
   chk::Audit::Registration audit_reg_;
 };
 

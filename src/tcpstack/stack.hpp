@@ -7,10 +7,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "buf/pool.hpp"
+#include "chk/flat_map.hpp"
 #include "hw/nic.hpp"
 #include "hw/node.hpp"
 #include "obs/metrics.hpp"
@@ -83,9 +83,9 @@ class TcpStack final : public hw::NicDriver {
   topo::Coord my_coord_;
   TcpParams params_;
 
-  std::unordered_map<int, hw::Nic*> nic_by_dir_;
+  chk::FlatMap<int, hw::Nic*> nic_by_dir_;
   std::vector<std::unique_ptr<TcpSocket>> socks_;
-  std::unordered_map<std::uint16_t, std::unique_ptr<sim::Queue<TcpSocket*>>>
+  chk::FlatMap<std::uint16_t, std::unique_ptr<sim::Queue<TcpSocket*>>>
       accept_queues_;
 
   sim::Counters counters_;

@@ -31,6 +31,7 @@ std::uint64_t kcoll_key(topo::Rank root, std::uint32_t seq) {
 
 buf::Slice pack_double(double v) {
   std::array<std::byte, sizeof(double)> raw;
+  // meshmp-lint: host-copy(8-byte scalar codec of the kernel collective)
   std::memcpy(raw.data(), &v, sizeof(double));
   return buf::Pool::instance().stage(raw);
 }
@@ -38,6 +39,7 @@ buf::Slice pack_double(double v) {
 double unpack_double(const buf::Slice& bytes) {
   assert(bytes.size() == sizeof(double));
   double v;
+  // meshmp-lint: host-copy(8-byte scalar decode of the kernel collective)
   std::memcpy(&v, bytes.data(), sizeof(double));
   return v;
 }
@@ -68,12 +70,13 @@ KernelAgent::~KernelAgent() = default;
 
 void KernelAgent::attach_nic(topo::Dir dir, hw::Nic& nic) {
   nic_by_dir_[dir.index()] = &nic;
-  dir_of_nic_[&nic] = dir.index();
+  dir_of_nic_.emplace_back(&nic, dir.index());
   nic.set_driver(this);
 }
 
 void KernelAgent::link_change(hw::Nic& nic, bool up) {
-  auto it = dir_of_nic_.find(&nic);
+  auto it = std::find_if(dir_of_nic_.begin(), dir_of_nic_.end(),
+                         [&nic](const auto& e) { return e.first == &nic; });
   if (it == dir_of_nic_.end()) return;
   const topo::DirMask bit = topo::DirMask{1} << static_cast<unsigned>(
                                 it->second);

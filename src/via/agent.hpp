@@ -13,9 +13,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "chk/flat_map.hpp"
 #include "hw/nic.hpp"
 #include "hw/node.hpp"
 #include "obs/metrics.hpp"
@@ -206,17 +207,19 @@ class KernelAgent final : public hw::NicDriver {
   MemoryRegistry memory_;
   sim::Rng rng_;
 
-  std::unordered_map<int, hw::Nic*> nic_by_dir_;
-  std::unordered_map<const hw::Nic*, int> dir_of_nic_;
+  chk::FlatMap<int, hw::Nic*> nic_by_dir_;
+  // Reverse lookup in attach order, searched linearly (<= 6 ports). Not a
+  // map keyed by pointer: address order is not stable across runs, and no
+  // container here may ever offer nondeterministic iteration.
+  std::vector<std::pair<const hw::Nic*, int>> dir_of_nic_;
   topo::DirMask failed_dirs_ = 0;
   bool powered_ = true;
   std::uint32_t epoch_ = 0;
   std::vector<std::int8_t> route_table_;  ///< first-hop dir per rank, -1 dead
   ControlHandler control_handler_;
   std::vector<std::unique_ptr<Vi>> vis_;
-  std::unordered_map<std::uint32_t,
-                     std::unique_ptr<sim::Queue<Vi*>>>
-      accept_queues_;  // keyed by service
+  chk::FlatMap<std::uint32_t, std::unique_ptr<sim::Queue<Vi*>>>
+      accept_queues_;  // keyed by service; iterated at power_fail
   // Dials re-send kConnReq, so a duplicate must re-ack the already-accepted
   // VI instead of accepting a second one — unless the duplicate comes from a
   // newer incarnation of the dialer, which gets a fresh accept. Keyed
@@ -225,8 +228,8 @@ class KernelAgent final : public hw::NicDriver {
     std::uint32_t vi = 0;
     std::uint32_t epoch = 0;
   };
-  std::unordered_map<std::uint64_t, AcceptedDial> accepted_vis_;
-  std::unordered_map<std::uint64_t, KernelColl> kcolls_;  // (root, seq)
+  chk::FlatMap<std::uint64_t, AcceptedDial> accepted_vis_;
+  chk::FlatMap<std::uint64_t, KernelColl> kcolls_;  // (root, seq)
 
   sim::Counters counters_;
   chk::Audit::Registration audit_reg_;

@@ -11,9 +11,9 @@
 #include <cstdint>
 #include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "chk/flat_map.hpp"
 #include "net/frame.hpp"
 #include "sim/rng.hpp"
 #include "sim/stats.hpp"
@@ -80,6 +80,8 @@ class MemoryRegistry {
       counters_.inc("rma_out_of_bounds");
       return false;
     }
+    // meshmp-lint: charged-copy(KernelAgent::rx_rma bills this fragment's
+    // bytes via charge_copy before calling write)
     std::copy(data.begin(), data.end(), r.storage.begin() +
                                             static_cast<std::ptrdiff_t>(offset));
     return true;
@@ -97,7 +99,10 @@ class MemoryRegistry {
   net::NodeId node_;
   sim::Rng rng_;
   std::uint32_t next_handle_ = 1;
-  std::unordered_map<std::uint32_t, Region> regions_;
+  // Keyed by handle (monotonic), so iteration order is registration order.
+  // Region moves on insert/erase keep their storage buffers in place, so
+  // spans handed out by region() stay valid.
+  chk::FlatMap<std::uint32_t, Region> regions_;
   sim::Counters counters_;
 };
 

@@ -1,0 +1,41 @@
+// meshmp-lint fixture: C1 (copy accounting). Not compiled. A memcpy or
+// std::copy must share a contiguous statement block with a charge_copy()
+// call, or carry a host-copy / charged-copy annotation; a blank line ends
+// the block.
+#include <algorithm>
+#include <cstring>
+
+namespace buf {
+void charge_copy(unsigned long bytes);
+}
+
+void unpaired(char* dst, const char* src, unsigned n) {
+  std::memcpy(dst, src, n);  // LINT-EXPECT[C1]
+}
+
+void unpaired_std_copy(char* dst, const char* src, unsigned n) {
+  std::copy(src, src + n, dst);  // LINT-EXPECT[C1]
+}
+
+void paired(char* dst, const char* src, unsigned n) {
+  buf::charge_copy(n);
+  std::memcpy(dst, src, n);
+}
+
+void annotated(char* dst, const char* src, unsigned n) {
+  // meshmp-lint: host-copy(fixture: marshalling scratch, no modeled bytes)
+  std::memcpy(dst, src, n);
+}
+
+void annotated_elsewhere(char* dst, const char* src, unsigned n) {
+  // meshmp-lint: charged-copy(fixture: caller bills these bytes)
+  const unsigned half = n / 2;
+  std::memcpy(dst, src, half);
+  std::memcpy(dst + half, src + half, n - half);
+}
+
+void blank_line_breaks_the_block(char* dst, const char* src, unsigned n) {
+  buf::charge_copy(n);
+
+  std::memcpy(dst, src, n);  // LINT-EXPECT[C1]
+}

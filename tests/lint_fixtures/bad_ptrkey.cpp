@@ -1,0 +1,23 @@
+// meshmp-lint fixture: D3 (pointer-keyed associative containers). Not
+// compiled. Pointer VALUES are fine — only a pointer in the key (first
+// template argument) position makes iteration order address-dependent.
+#include <map>
+#include <set>
+
+struct Node;
+
+std::map<Node*, int> rank_by_addr;  // LINT-EXPECT[D3]
+
+std::set<const Node*> seen;  // LINT-EXPECT[D3]
+
+// Legal: the key is an int; the pointer is the mapped value.
+std::map<int, Node*> node_by_rank;
+
+// Legal for the same reason, project flat container spelled with namespace.
+// (FlatMap<int, Node*> must NOT fire.)
+struct Holder {
+  int dummy_;
+};
+
+// meshmp-lint: ptr-key-ok(keys are interned singletons with stable order)
+std::map<Node*, int> suppressed_by_addr;

@@ -1,0 +1,28 @@
+// meshmp-lint fixture: R3 (shared-state annotation discipline). Not
+// compiled. A class marked shared-state must declare a chk::SimLock and
+// every container member must be MESHMP_GUARDED_BY a lock or annotated
+// unshared.
+#include <map>
+#include <vector>
+
+// meshmp-lint: shared-state
+class NoLock {  // LINT-EXPECT[R3] — declares no SimLock member
+ public:
+  int size() const { return 0; }
+
+ private:
+  std::vector<int> items_;  // LINT-EXPECT[R3] — unguarded container member
+};
+
+// meshmp-lint: shared-state
+class Guarded {
+ public:
+  void touch();
+
+ private:
+  mutable meshmp::chk::SimLock mu_;
+  std::vector<int> items_ MESHMP_GUARDED_BY(mu_);
+  std::map<int, int> index_ MESHMP_GUARDED_BY(mu_);
+  // meshmp-lint: unshared(iteration scratch, rebuilt from scratch per call)
+  std::vector<int> scratch_;
+};

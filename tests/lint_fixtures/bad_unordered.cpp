@@ -1,0 +1,12 @@
+// meshmp-lint fixture: D1 (unordered containers). Not compiled — consumed by
+// tests/test_lint.py, which asserts a finding on every LINT-EXPECT line and
+// none anywhere else.
+#include <string>
+#include <unordered_map>  // LINT-EXPECT[D1]
+
+std::unordered_map<int, int> sequence_table;  // LINT-EXPECT[D1]
+
+std::unordered_set<std::string> names;  // LINT-EXPECT[D1]
+
+// meshmp-lint: unordered-ok(build-time-only lookup cache; never iterated)
+std::unordered_map<int, int> suppressed_table;

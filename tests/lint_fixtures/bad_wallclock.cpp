@@ -1,0 +1,21 @@
+// meshmp-lint fixture: D2 (wall clock / libc randomness). Not compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+long wall_ns() {
+  auto t = std::chrono::steady_clock::now();  // LINT-EXPECT[D2]
+  return t.time_since_epoch().count();
+}
+
+int noise() { return std::rand(); }  // LINT-EXPECT[D2]
+
+long stamp() { return time(nullptr); }  // LINT-EXPECT[D2]
+
+int seed_source() {
+  std::random_device rd;  // LINT-EXPECT[D2]
+  return static_cast<int>(rd());
+}
+
+// meshmp-lint: host-time(names a log file; never feeds simulated time)
+long log_stamp() { return time(nullptr); }

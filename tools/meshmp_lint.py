@@ -1,0 +1,440 @@
+#!/usr/bin/env python3
+"""meshmp-lint: project-invariant static analysis for the meshmp simulator.
+
+Enforces three rule families over src/ (see DESIGN.md section 11):
+
+Determinism
+  D1  no std::unordered_{map,set,multimap,multiset}: iteration order depends
+      on hash seeding and insertion history, which is a determinism bug in
+      simulation-affecting code. Use chk::FlatMap / chk::FlatSet / std::map.
+      Suppress: // meshmp-lint: unordered-ok(<reason>)
+  D2  no wall-clock or libc randomness: std::chrono clocks, ::time,
+      gettimeofday, clock_gettime, std::rand/srand, std::random_device.
+      Simulated time comes from sim::Engine::now(); randomness from sim::Rng.
+      Suppress: // meshmp-lint: host-time(<reason>)
+  D3  no pointer-keyed associative containers: address order is not stable
+      across runs, so a pointer key makes iteration order (and any "first
+      match" logic) nondeterministic.
+      Suppress: // meshmp-lint: ptr-key-ok(<reason>)
+
+Copy accounting
+  C1  every memcpy / std::copy must either sit in the same statement block as
+      a buf::charge_copy() call (the modeled-copy pairing) or carry an
+      explicit annotation:
+        // meshmp-lint: host-copy(<reason>)     simulation-artifact copy
+        // meshmp-lint: charged-copy(<reason>)  billed by a named caller
+      An annotation (or charge) covers matches on its own line and on
+      following lines of the same contiguous block: up to {WINDOW} lines with
+      no blank line in between.
+
+Concurrency readiness
+  R3  a class marked // meshmp-lint: shared-state must declare a
+      chk::SimLock (or MESHMP_CAPABILITY) member, and every container member
+      it declares must be MESHMP_GUARDED_BY one, or carry
+      // meshmp-lint: unshared(<reason>).
+
+Engines: with python clang bindings and a compile_commands.json the D-rules
+run on the AST (macro- and comment-proof); otherwise a conservative text
+engine covers everything. C1/R3 are comment-scoped by design and always run
+on text. Findings print as path:line: [RULE] message; exit 1 on any finding
+not covered by the allowlist (tools/meshmp_lint_allowlist.txt: lines of
+"<RULE> <path> <substring-of-offending-line>", # comments allowed).
+
+Usage:
+  tools/meshmp_lint.py [--src-dir src] [--build-dir build]
+                       [--engine auto|ast|text] [--allowlist FILE] [files...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+WINDOW = 12  # max lines a charge/annotation covers within a contiguous block
+
+SUPPRESS_RE = re.compile(
+    r"meshmp-lint:\s*"
+    r"(host-copy|charged-copy|unordered-ok|ptr-key-ok|host-time|unshared)"
+    r"\s*\(")
+MARKER_SHARED_RE = re.compile(r"meshmp-lint:\s*shared-state\b")
+COMMENT_RE = re.compile(r"//.*$")
+
+UNORDERED_RE = re.compile(r"\bstd::unordered_(map|set|multimap|multiset)\b"
+                          r'|[<"]unordered_(map|set)[">]')
+WALLCLOCK_RE = re.compile(
+    r"\bstd::chrono::(system_clock|steady_clock|high_resolution_clock)\b"
+    r"|\bstd::(rand|srand|random_device)\b"
+    r"|\bgettimeofday\s*\(|\bclock_gettime\s*\("
+    r"|(?<![\w:.])time\s*\(\s*(NULL|nullptr|0)?\s*\)")
+# Pointer-typed FIRST template argument of an associative container.
+PTRKEY_RE = re.compile(
+    r"\b(?:chk::)?(?:FlatMap|FlatSet)<\s*[^,<>]*\*\s*[,>]"
+    r"|\bstd::(?:map|set|multimap|multiset)<\s*[^,<>]*\*\s*[,>]")
+COPY_RE = re.compile(r"\b(?:std::)?memcpy\s*\(|\bstd::copy\s*\(")
+CHARGE_RE = re.compile(r"\bcharge_copy\s*(?:<[^>]*>)?\(")
+CONTAINER_MEMBER_RE = re.compile(
+    r"\b(?:std::(?:vector|map|set|deque|array|priority_queue|queue)"
+    r"|chk::FlatMap|chk::FlatSet)<")
+MEMBER_NAME_RE = re.compile(r"\b[A-Za-z]\w*_\s*(?:;|=|\{|MESHMP_GUARDED_BY|$)")
+LOCK_MEMBER_RE = re.compile(r"\bchk::SimLock\b|\bMESHMP_CAPABILITY\b|"
+                            r"\bSimLock\s+\w+_")
+
+BANNED_CALLS = {
+    "rand": "D2", "srand": "D2", "time": "D2", "gettimeofday": "D2",
+    "clock_gettime": "D2",
+}
+BANNED_TYPES = {
+    "std::unordered_map": "D1", "std::unordered_set": "D1",
+    "std::unordered_multimap": "D1", "std::unordered_multiset": "D1",
+    "std::random_device": "D2",
+    "std::chrono::system_clock": "D2",
+    "std::chrono::steady_clock": "D2",
+    "std::chrono::high_resolution_clock": "D2",
+}
+
+
+class Finding:
+    def __init__(self, rule, path, line, message, text=""):
+        self.rule = rule
+        self.path = path
+        self.line = line  # 1-based
+        self.message = message
+        self.text = text  # offending source line, for allowlist matching
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comment(line):
+    return COMMENT_RE.sub("", line)
+
+
+def block_has(lines, idx, pattern, comment_ok):
+    """True when `pattern` matches on line idx or an earlier line of the same
+    contiguous (blank-line-free) block, at most WINDOW lines up.
+    comment_ok: match inside comments too (annotations) or only in code."""
+    for j in range(idx, max(-1, idx - WINDOW - 1), -1):
+        if j < 0:
+            return False
+        if j != idx and not lines[j].strip():
+            return False  # blank line ends the block
+        hay = lines[j] if comment_ok else strip_comment(lines[j])
+        if pattern.search(hay):
+            return True
+    return False
+
+
+def suppressed(lines, idx, kinds):
+    """True when a meshmp-lint suppression of one of `kinds` covers line idx."""
+    for j in range(idx, max(-1, idx - WINDOW - 1), -1):
+        if j < 0:
+            return False
+        if j != idx and not lines[j].strip():
+            return False
+        m = SUPPRESS_RE.search(lines[j])
+        if m and m.group(1) in kinds:
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# Text engine
+# --------------------------------------------------------------------------
+
+def check_determinism_text(path, lines):
+    out = []
+    for i, raw in enumerate(lines):
+        code = strip_comment(raw)
+        if UNORDERED_RE.search(code) and not suppressed(
+                lines, i, ("unordered-ok",)):
+            out.append(Finding(
+                "D1", path, i + 1,
+                "unordered container in simulation code: iteration order is "
+                "hash-layout-dependent; use chk::FlatMap/FlatSet or std::map "
+                "(or annotate unordered-ok)", raw))
+        if WALLCLOCK_RE.search(code) and not suppressed(
+                lines, i, ("host-time",)):
+            out.append(Finding(
+                "D2", path, i + 1,
+                "wall-clock/libc randomness in simulation code: use "
+                "sim::Engine::now() / sim::Rng (or annotate host-time)", raw))
+        if PTRKEY_RE.search(code) and not suppressed(
+                lines, i, ("ptr-key-ok",)):
+            out.append(Finding(
+                "D3", path, i + 1,
+                "pointer-keyed associative container: address order is not "
+                "stable across runs (or annotate ptr-key-ok)", raw))
+    return out
+
+
+def check_copy_accounting(path, lines):
+    out = []
+    for i, raw in enumerate(lines):
+        code = strip_comment(raw)
+        if not COPY_RE.search(code):
+            continue
+        if suppressed(lines, i, ("host-copy", "charged-copy")):
+            continue
+        if block_has(lines, i, CHARGE_RE, comment_ok=False):
+            continue
+        out.append(Finding(
+            "C1", path, i + 1,
+            "memcpy/std::copy without a charge_copy() in the same block: "
+            "bill it via buf::charge_copy or annotate "
+            "host-copy(<reason>) / charged-copy(<reason>)", raw))
+    return out
+
+
+def class_region(lines, marker_idx):
+    """(class_line_idx, end_idx_exclusive) of the class following a
+    shared-state marker, or None."""
+    class_re = re.compile(r"^(\s*)(?:template\s*<[^>]*>\s*)?class\s+\w+")
+    for i in range(marker_idx, min(marker_idx + 4, len(lines))):
+        m = class_re.match(lines[i])
+        if not m:
+            continue
+        indent = m.group(1)
+        end_re = re.compile(r"^" + re.escape(indent) + r"\};")
+        for j in range(i + 1, len(lines)):
+            if end_re.match(lines[j]):
+                return i, j
+        return i, len(lines)
+    return None
+
+
+def check_shared_state(path, lines):
+    out = []
+    for i, raw in enumerate(lines):
+        if not MARKER_SHARED_RE.search(raw):
+            continue
+        region = class_region(lines, i + 1)
+        if region is None:
+            out.append(Finding(
+                "R3", path, i + 1,
+                "shared-state marker is not followed by a class declaration",
+                raw))
+            continue
+        start, end = region
+        body = lines[start:end]
+        if not any(LOCK_MEMBER_RE.search(strip_comment(l)) for l in body):
+            out.append(Finding(
+                "R3", path, start + 1,
+                "shared-state class declares no chk::SimLock / "
+                "MESHMP_CAPABILITY member", lines[start]))
+        # Container member declarations must be guarded or annotated.
+        depth = 0
+        for k, line in enumerate(body):
+            code = strip_comment(line)
+            at_member_level = depth == 1
+            depth += code.count("{") - code.count("}")
+            if not at_member_level or depth > 1:
+                continue  # inside a nested scope (method body, nested type)
+            if not CONTAINER_MEMBER_RE.search(code):
+                continue
+            # Join the declaration statement (up to 3 lines, until ';').
+            stmt = code
+            for extra in range(1, 3):
+                if ";" in stmt:
+                    break
+                if k + extra < len(body):
+                    stmt += " " + strip_comment(body[k + extra])
+            if not MEMBER_NAME_RE.search(stmt):
+                continue  # not a member declaration (signature, using, ...)
+            if "(" in stmt.split("<", 1)[0]:
+                continue  # function signature returning a container
+            if "MESHMP_GUARDED_BY" in stmt:
+                continue
+            if suppressed(body, k, ("unshared",)):
+                continue
+            out.append(Finding(
+                "R3", path, start + k + 1,
+                "container member of a shared-state class is not "
+                "MESHMP_GUARDED_BY a lock (or annotated unshared)", line))
+    return out
+
+
+# --------------------------------------------------------------------------
+# AST engine (libclang; optional)
+# --------------------------------------------------------------------------
+
+def load_cindex():
+    try:
+        from clang import cindex  # type: ignore
+        cindex.Index.create()
+        return cindex
+    except Exception:
+        return None
+
+
+def ast_findings(cindex, comp_db_dir, files):
+    """D1/D2/D3 on the AST. Returns (findings, analyzed_files) or None when
+    the compilation database cannot be loaded."""
+    try:
+        db = cindex.CompilationDatabase.fromDirectory(comp_db_dir)
+    except Exception:
+        return None
+    index = cindex.Index.create()
+    out, analyzed = [], set()
+    wanted = {os.path.abspath(f) for f in files}
+    for cmd in db.getAllCompileCommands() or []:
+        src = os.path.abspath(os.path.join(cmd.directory, cmd.filename))
+        args = [a for a in list(cmd.arguments)[1:]
+                if a not in (cmd.filename, src, "-c", "-o")]
+        # Drop the object-file operand of -o.
+        cleaned, skip = [], False
+        for a in args:
+            if skip:
+                skip = False
+                continue
+            if a == "-o":
+                skip = True
+                continue
+            cleaned.append(a)
+        try:
+            tu = index.parse(src, args=cleaned)
+        except Exception:
+            continue
+        for cur in tu.cursor.walk_preorder():
+            loc = cur.location
+            if loc.file is None:
+                continue
+            fpath = os.path.abspath(loc.file.name)
+            if fpath not in wanted:
+                continue
+            analyzed.add(fpath)
+            rel = os.path.relpath(fpath)
+            try:
+                lines = open(fpath, encoding="utf-8").read().splitlines()
+            except OSError:
+                continue
+            i = loc.line - 1
+            if cur.kind == cindex.CursorKind.TYPE_REF or \
+                    cur.kind == cindex.CursorKind.TEMPLATE_REF:
+                name = cur.spelling or ""
+                for t, rule in BANNED_TYPES.items():
+                    if t.endswith(name) and name:
+                        kinds = ("unordered-ok",) if rule == "D1" else (
+                            "host-time",)
+                        if not suppressed(lines, i, kinds):
+                            out.append(Finding(
+                                rule, rel, loc.line,
+                                f"banned type {t} (AST)", lines[i]))
+            elif cur.kind == cindex.CursorKind.CALL_EXPR:
+                if cur.spelling in BANNED_CALLS and not suppressed(
+                        lines, i, ("host-time",)):
+                    out.append(Finding(
+                        "D2", rel, loc.line,
+                        f"banned call {cur.spelling}() (AST)", lines[i]))
+    return out, analyzed
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+def collect_files(src_dir, explicit):
+    if explicit:
+        return sorted(explicit)
+    out = []
+    for root, _dirs, names in os.walk(src_dir):
+        for n in sorted(names):
+            if n.endswith((".hpp", ".cpp", ".h", ".cc")):
+                out.append(os.path.join(root, n))
+    return out
+
+
+def load_allowlist(path):
+    entries = []
+    if not path or not os.path.exists(path):
+        return entries
+    for raw in open(path, encoding="utf-8"):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(None, 2)
+        if len(parts) == 3:
+            entries.append(tuple(parts))
+    return entries
+
+
+def allowlisted(finding, entries):
+    for rule, path, token in entries:
+        if rule == finding.rule and path == finding.path and \
+                token in finding.text:
+            return True
+    return False
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--src-dir", default="src")
+    ap.add_argument("--build-dir", default="build",
+                    help="directory holding compile_commands.json")
+    ap.add_argument("--engine", choices=("auto", "ast", "text"),
+                    default="auto")
+    ap.add_argument("--allowlist",
+                    default=os.path.join("tools",
+                                         "meshmp_lint_allowlist.txt"))
+    ap.add_argument("--quiet", action="store_true")
+    ap.add_argument("files", nargs="*",
+                    help="restrict to these files (default: all of src/)")
+    args = ap.parse_args(argv)
+
+    files = collect_files(args.src_dir, args.files)
+    if not files:
+        print(f"meshmp-lint: no sources under {args.src_dir}",
+              file=sys.stderr)
+        return 2
+
+    findings = []
+    cindex = None if args.engine == "text" else load_cindex()
+    ast_cover = set()
+    engine = "text"
+    if cindex is not None:
+        cc = os.path.join(args.build_dir, "compile_commands.json")
+        if os.path.exists(cc):
+            res = ast_findings(cindex, args.build_dir, files)
+            if res is not None:
+                ast_out, ast_cover = res
+                findings.extend(ast_out)
+                engine = "ast+text"
+    if args.engine == "ast" and engine == "text":
+        print("meshmp-lint: --engine ast requested but python clang "
+              "bindings or compile_commands.json are unavailable",
+              file=sys.stderr)
+        return 2
+
+    for path in files:
+        try:
+            lines = open(path, encoding="utf-8").read().splitlines()
+        except OSError as e:
+            print(f"meshmp-lint: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+        rel = os.path.relpath(path)
+        if os.path.abspath(path) not in ast_cover:
+            findings.extend(check_determinism_text(rel, lines))
+        findings.extend(check_copy_accounting(rel, lines))
+        findings.extend(check_shared_state(rel, lines))
+
+    entries = load_allowlist(args.allowlist)
+    kept, allowed = [], 0
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        if allowlisted(f, entries):
+            allowed += 1
+            continue
+        kept.append(f)
+
+    for f in kept:
+        print(f)
+    if not args.quiet:
+        note = f", {allowed} allowlisted" if allowed else ""
+        print(f"meshmp-lint [{engine}]: {len(files)} file(s), "
+              f"{len(kept)} finding(s){note}", file=sys.stderr)
+    return 1 if kept else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
