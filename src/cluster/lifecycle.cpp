@@ -24,7 +24,16 @@ ClusterLifecycle::ClusterLifecycle(GigeMeshCluster& cluster,
       detect_hist_(
           obs::Registry::instance().histogram("cluster.detection_latency_ns")),
       rejoin_hist_(
-          obs::Registry::instance().histogram("cluster.rejoin_latency_ns")) {
+          obs::Registry::instance().histogram("cluster.rejoin_latency_ns")),
+      side_(idx(cluster.size()), QuorumSide::kPrimary),
+      minority_since_(idx(cluster.size()), -1),
+      heal_pending_(idx(cluster.size()), false),
+      counters_reg_(
+          obs::Registry::instance().attach("cluster.partition", &counters_)),
+      partition_duration_hist_(
+          obs::Registry::instance().histogram("cluster.partition.duration_ns")),
+      heal_conv_hist_(obs::Registry::instance().histogram(
+          "cluster.partition.heal_convergence_ns")) {
   views_.reserve(idx(cluster.size()));
   for (topo::Rank r = 0; r < cluster.size(); ++r) {
     views_.emplace_back(cluster.size());
@@ -43,9 +52,16 @@ void ClusterLifecycle::start() {
       if (stopped_) return;
       if (h.kind == via::MsgKind::kHeartbeat) {
         on_heartbeat(r, static_cast<topo::Rank>(src));
+      } else if (h.kind == via::MsgKind::kReconcile) {
+        on_reconcile(r, h.immediate);
       } else {
         on_membership_frame(r, payload.data(), payload.size());
       }
+    });
+    // Carrier restoration is the heal trigger: a link coming up toward a
+    // rank this node believes dead starts the reconciliation sequence.
+    ag.set_link_observer([this, r](topo::Dir d, bool up) {
+      if (up && started_ && !stopped_) on_carrier_up(r, d);
     });
     ag.listen(kService);
   }
@@ -221,12 +237,18 @@ void ClusterLifecycle::declare(topo::Rank observer, topo::Rank subject,
 void ClusterLifecycle::process_record(topo::Rank observer,
                                       const MemberRecord& rec) {
   MembershipView& view = views_[idx(observer)];
-  const Liveness prev = view.at(rec.rank).state;
+  const MemberState prev_st = view.at(rec.rank);
+  const Liveness prev = prev_st.state;
   if (!view.apply(rec)) return;  // stale — flood terminates here
   const Liveness to = rec.st.state;
   const sim::Time now = cluster_.engine().now();
   via::KernelAgent& ag = cluster_.agent(observer);
 
+  if (observer != rec.rank && rec.st.incarnation > prev_st.incarnation) {
+    // The subject flushed or rebooted since these channels were built; any
+    // VI still bound to the older epoch can never complete a handshake.
+    ag.peer_reincarnated(rec.rank, rec.st.incarnation);
+  }
   if ((prev == Liveness::kDead) != (to == Liveness::kDead)) {
     refresh_routes(observer);
   }
@@ -246,6 +268,7 @@ void ClusterLifecycle::process_record(topo::Rank observer,
       observer != rec.rank && restart_time_[idx(rec.rank)] >= 0) {
     rejoin_hist_.add(now - restart_time_[idx(rec.rank)]);
   }
+  update_quorum(observer);
   for (const Observer& fn : observers_[idx(observer)]) fn(rec.rank, to);
 
   // Re-flood news to every live neighbour; apply-is-news gating above is
@@ -258,6 +281,21 @@ void ClusterLifecycle::process_record(topo::Rank observer,
     ag.send_control(*n, via::MsgKind::kMembership,
                     buf::Pool::instance().adopt(MembershipView::encode({rec})));
   }
+
+  if (to == Liveness::kRejoining && prev == Liveness::kDead &&
+      observer != rec.rank && t.distance(observer, rec.rank) == 1) {
+    // A dead-believed direct neighbour announced a new life: the healed
+    // boundary runs between us. Push our side's story across it so the
+    // merge is bidirectional — this is how real deaths behind a partition
+    // reach the reconciled side.
+    push_view(observer, rec.rank);
+  }
+  if (heal_start_ >= 0 && heal_pending_[idx(observer)] &&
+      view.count(Liveness::kDead) == 0) {
+    heal_pending_[idx(observer)] = false;
+    heal_conv_hist_.add(now - heal_start_);
+    if (--heal_remaining_ == 0) heal_start_ = -1;
+  }
 }
 
 void ClusterLifecycle::refresh_routes(topo::Rank observer) {
@@ -268,7 +306,145 @@ void ClusterLifecycle::refresh_routes(topo::Rank observer) {
   if (!any) {
     ag.clear_route_table();
   } else {
-    ag.set_route_table(cluster_.torus().route_table_avoiding(observer, dead));
+    // Shared cache: during partition/heal storms many nodes pass through
+    // identical dead sets, and BFS route tables are the hot part.
+    ag.set_route_table(route_cache_.get(cluster_.torus(), observer, dead));
+  }
+}
+
+// -- partition tolerance ------------------------------------------------------
+
+void ClusterLifecycle::update_quorum(topo::Rank r) {
+  const QuorumSide s = quorum_side(views_[idx(r)]);
+  if (s == side_[idx(r)]) return;
+  side_[idx(r)] = s;
+  via::KernelAgent& ag = cluster_.agent(r);
+  const sim::Time now = cluster_.engine().now();
+  if (s == QuorumSide::kMinority) {
+    minority_since_[idx(r)] = now;
+    ag.set_minority(true);
+    counters_.inc("minority_transitions");
+  } else {
+    ag.set_minority(false);
+    counters_.inc("primary_restorations");
+    if (minority_since_[idx(r)] >= 0) {
+      partition_duration_hist_.add(now - minority_since_[idx(r)]);
+      minority_since_[idx(r)] = -1;
+    }
+  }
+}
+
+void ClusterLifecycle::on_carrier_up(topo::Rank r, topo::Dir d) {
+  via::KernelAgent& ag = cluster_.agent(r);
+  if (!ag.powered()) return;
+  const auto n = cluster_.torus().neighbor(r, d);
+  if (!n) return;
+  if (views_[idx(r)].at(*n).state != Liveness::kDead) return;
+  // A link coming back up toward a believed-dead rank is heal evidence —
+  // either a partition heal or a node restart; both converge through the
+  // same flood merge, so both feed the heal-convergence histogram.
+  counters_.inc("carrier_heal_events");
+  if (heal_start_ < 0) {
+    heal_start_ = cluster_.engine().now();
+    heal_remaining_ = 0;
+    for (topo::Rank q = 0; q < cluster_.size(); ++q) {
+      const bool pending = cluster_.agent(q).powered() &&
+                           views_[idx(q)].count(Liveness::kDead) > 0;
+      heal_pending_[idx(q)] = pending;
+      if (pending) ++heal_remaining_;
+    }
+  }
+  if (side_[idx(r)] == QuorumSide::kMinority) {
+    // Minority nodes own the heal: start (or join) the reconcile wave. The
+    // primary side stays passive here — its half of the merge happens when
+    // the minority's kRejoining records arrive (push_view above).
+    on_reconcile(r, ctl_[idx(r)].reconcile_gen + 1);
+  }
+}
+
+void ClusterLifecycle::on_reconcile(topo::Rank r, std::uint64_t gen) {
+  NodeCtl& ctl = ctl_[idx(r)];
+  if (gen <= ctl.reconcile_gen) return;  // wave already seen — flood gate
+  via::KernelAgent& ag = cluster_.agent(r);
+  if (!ag.powered()) return;
+  ctl.reconcile_gen = gen;
+  counters_.inc("reconcile_waves");
+  if (side_[idx(r)] == QuorumSide::kMinority) partition_rejoin(r);
+  // Re-flood so the wave reaches minority nodes with no healed link of
+  // their own. Runs after partition_rejoin: a reconciled node's route
+  // table no longer drops frames toward cross-boundary neighbours.
+  const topo::Torus& t = cluster_.torus();
+  for (topo::Dir dd : t.directions(t.coord(r))) {
+    const auto nb = t.neighbor(r, dd);
+    if (!nb) continue;
+    if (views_[idx(r)].at(*nb).state == Liveness::kDead) continue;
+    ag.send_control(*nb, via::MsgKind::kReconcile, {}, gen);
+  }
+}
+
+void ClusterLifecycle::partition_rejoin(topo::Rank r) {
+  via::KernelAgent& ag = cluster_.agent(r);
+  const sim::Time now = cluster_.engine().now();
+  counters_.inc("partition_rejoins");
+  // 1. Flush every VI under a bumped incarnation epoch: stale retransmits
+  //    and half-open channels from the partition era identify themselves
+  //    against the new epoch instead of corrupting fresh traffic.
+  ag.partition_flush();
+  // 2. Retract the partition-era death verdicts. A retracted entry loses to
+  //    any authored record, so the post-heal flood merge re-applies the
+  //    other side's story — including real deaths behind the partition —
+  //    as news. Observers hear kAlive so upper layers reset per-peer state.
+  MembershipView& v = views_[idx(r)];
+  for (topo::Rank q = 0; q < cluster_.size(); ++q) {
+    if (v.at(q).state != Liveness::kDead) continue;
+    v.retract(q);
+    // Without a fresh silence clock the monitor would re-kill q from its
+    // partition-era timestamp before the first healed heartbeat lands.
+    ctl_[idx(r)].last_heard[idx(q)] = now;
+    for (const Observer& fn : observers_[idx(r)]) fn(q, Liveness::kAlive);
+  }
+  // 3. Avoidance tables cleared; the view is dead-free again, so the
+  //    quorum flips back and the minority send/dial gates lift.
+  refresh_routes(r);
+  update_quorum(r);
+  if (heal_start_ >= 0 && heal_pending_[idx(r)]) {
+    heal_pending_[idx(r)] = false;
+    heal_conv_hist_.add(now - heal_start_);
+    if (--heal_remaining_ == 0) heal_start_ = -1;
+  }
+  // 4. The rejoin machinery under the bumped epoch: kRejoining flood,
+  //    fresh-epoch handshakes with every neighbour, kAlive flood.
+  rejoin(r, ctl_[idx(r)].gen).detach();
+}
+
+void ClusterLifecycle::push_view(topo::Rank from, topo::Rank to) {
+  via::KernelAgent& ag = cluster_.agent(from);
+  if (!ag.powered()) return;
+  counters_.inc("view_pushes");
+  // Batched so each control frame stays under the wire MTU.
+  constexpr std::size_t kBatch = 64;
+  const MembershipView& v = views_[idx(from)];
+  std::vector<MemberRecord> batch;
+  batch.reserve(kBatch);
+  for (topo::Rank q = 0; q < cluster_.size(); ++q) {
+    if (q == to) continue;  // the peer outranks everyone on its own story
+    const MemberState& st = v.at(q);
+    if (st.state == Liveness::kAlive && st.incarnation == 0 &&
+        st.version == 0) {
+      continue;  // default record — can never be news
+    }
+    batch.push_back(MemberRecord{q, st});
+    if (batch.size() == kBatch) {
+      ag.send_control(
+          to, via::MsgKind::kMembership,
+          buf::Pool::instance().adopt(MembershipView::encode(batch)));
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) {
+    ag.send_control(
+        to, via::MsgKind::kMembership,
+        buf::Pool::instance().adopt(MembershipView::encode(batch)));
   }
 }
 

@@ -25,6 +25,21 @@
 // Detection and rejoin latencies (crash/restart sim-time to each survivor's
 // view transition) are recorded into obs histograms and therefore appear in
 // ClusterReport.metrics.
+//
+// Partition tolerance (split-brain safety): after every applied record each
+// node re-evaluates the strict-majority quorum rule (membership.hpp) over
+// its own view. A node whose view places it on the minority side of a split
+// sets its kernel agent's minority flag — new dials and sends to
+// unconnected peers fail fast with kMinorityPartition — while the primary
+// side re-trees collectives over survivors and keeps serving. Healing is
+// driven by carrier restoration: a node that sees a link come up toward a
+// rank it believes dead either pushes its view across the boundary
+// (primary) or starts a flooded kReconcile wave (minority). Reconciling
+// minority nodes flush every VI under a bumped incarnation epoch, retract
+// their partition-era death verdicts, clear avoidance route tables, and
+// re-run the PR-5 rejoin handshake — after which the ordinary
+// (incarnation, version, severity) flood merge converges both sides' views,
+// including any real deaths that happened behind the partition.
 
 #include <cstdint>
 #include <functional>
@@ -35,6 +50,7 @@
 #include "obs/metrics.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
+#include "topo/route_cache.hpp"
 #include "via/vi.hpp"
 
 namespace meshmp::cluster {
@@ -79,11 +95,30 @@ class ClusterLifecycle {
   /// True when every powered node believes every rank is alive.
   [[nodiscard]] bool all_alive() const;
 
+  /// Which side of a split `r`'s view currently places it on.
+  [[nodiscard]] QuorumSide side(topo::Rank r) const {
+    return side_.at(idx_(r));
+  }
+  [[nodiscard]] bool is_minority(topo::Rank r) const {
+    return side(r) == QuorumSide::kMinority;
+  }
+  /// Partition/heal bookkeeping counters (also attached to the obs registry
+  /// under "cluster.partition").
+  [[nodiscard]] const obs::Counters& partition_counters() const noexcept {
+    return counters_;
+  }
+
  private:
   struct NodeCtl {
     std::vector<sim::Time> last_heard;  ///< by rank; only neighbours used
     std::uint64_t gen = 0;  ///< bumped on crash/restart to retire old loops
+    /// Highest kReconcile wave generation seen; the flood-termination gate.
+    std::uint64_t reconcile_gen = 0;
   };
+
+  static std::size_t idx_(topo::Rank r) {
+    return static_cast<std::size_t>(r);
+  }
 
   void on_crash(topo::Rank r);
   void on_restart(topo::Rank r);
@@ -105,6 +140,22 @@ class ClusterLifecycle {
   /// current dead set.
   void refresh_routes(topo::Rank observer);
 
+  // -- partition tolerance ---------------------------------------------------
+  /// Re-evaluates quorum_side for `r`'s view, toggling the agent minority
+  /// flag and recording partition-duration samples on transitions.
+  void update_quorum(topo::Rank r);
+  /// Carrier came back up on one of `r`'s links: heal evidence when the
+  /// neighbour that way is currently believed dead.
+  void on_carrier_up(topo::Rank r, topo::Dir d);
+  /// A kReconcile wave frame (or its local origination) reached `r`.
+  void on_reconcile(topo::Rank r, std::uint64_t gen);
+  /// The minority-side heal sequence: VI flush under a bumped epoch, retract
+  /// partition-era deaths, clear avoidance routes, PR-5 rejoin handshake.
+  void partition_rejoin(topo::Rank r);
+  /// Sends `from`'s full non-default view to `to` as kMembership batches —
+  /// the primary side's half of the post-heal merge.
+  void push_view(topo::Rank from, topo::Rank to);
+
   GigeMeshCluster& cluster_;
   LifecycleParams params_;
   bool started_ = false;
@@ -116,6 +167,19 @@ class ClusterLifecycle {
   std::vector<sim::Time> restart_time_;  ///< -1 until the restart fires
   obs::Histogram& detect_hist_;  ///< crash -> per-survivor kDead, ns
   obs::Histogram& rejoin_hist_;  ///< restart -> per-survivor kAlive, ns
+
+  std::vector<QuorumSide> side_;         ///< per node, from its own view
+  std::vector<sim::Time> minority_since_;  ///< -1 while primary
+  /// Heal-convergence tracking: set at the first carrier-up heal evidence of
+  /// a cycle, cleared when every pending node's view is dead-free again.
+  sim::Time heal_start_ = -1;
+  std::vector<bool> heal_pending_;
+  int heal_remaining_ = 0;
+  topo::RouteTableCache route_cache_;  ///< shared across nodes by dead-set
+  obs::Counters counters_;             ///< "cluster.partition.*"
+  obs::Registry::Registration counters_reg_;
+  obs::Histogram& partition_duration_hist_;  ///< minority entry -> primary, ns
+  obs::Histogram& heal_conv_hist_;  ///< heal evidence -> dead-free view, ns
 };
 
 }  // namespace meshmp::cluster

@@ -83,6 +83,31 @@ std::vector<std::byte> MembershipView::encode(
   return out;
 }
 
+QuorumSide quorum_side(const MembershipView& v) {
+  const topo::Rank n = v.size();
+  int live = 0;
+  topo::Rank lowest_live = -1;
+  topo::Rank lowest_dead = -1;
+  for (topo::Rank r = 0; r < n; ++r) {
+    if (v.at(r).state == Liveness::kDead) {
+      if (lowest_dead < 0) lowest_dead = r;
+    } else {
+      ++live;
+      if (lowest_live < 0) lowest_live = r;
+    }
+  }
+  if (2 * live > n) return QuorumSide::kPrimary;
+  if (2 * live < n) return QuorumSide::kMinority;
+  // Exact half/half tie. The two sides of a bisection hold disjoint live
+  // sets, so exactly one of them contains the globally lowest surviving
+  // rank — that side wins. A view whose lowest live rank precedes its
+  // lowest dead rank is the view holding that rank.
+  if (lowest_live < 0) return QuorumSide::kMinority;
+  return (lowest_dead < 0 || lowest_live < lowest_dead)
+             ? QuorumSide::kPrimary
+             : QuorumSide::kMinority;
+}
+
 std::vector<MemberRecord> MembershipView::decode(const std::byte* data,
                                                  std::size_t bytes) {
   std::vector<MemberRecord> recs;

@@ -62,6 +62,15 @@ class MembershipView {
   /// flood-forwarding gate).
   bool apply(const MemberRecord& rec);
 
+  /// Resets the stored record for `r` to the default (alive, incarnation 0,
+  /// version 0). Healing reconciliation retracts partition-era death
+  /// verdicts this way: the retracted entry loses to *any* authored record,
+  /// so the post-heal flood merge re-applies the other side's story as news
+  /// — including any real deaths this side mistook for partition damage.
+  void retract(topo::Rank r) {
+    states_.at(static_cast<std::size_t>(r)) = MemberState{};
+  }
+
   /// The stored state of `r` as a floodable record.
   [[nodiscard]] MemberRecord record(topo::Rank r) const {
     return MemberRecord{r, at(r)};
@@ -83,5 +92,21 @@ class MembershipView {
  private:
   std::vector<MemberState> states_;
 };
+
+/// Which side of a split machine a view places its holder on. Derived
+/// purely from the view, so disjoint converged views classify themselves
+/// without any cross-partition communication.
+enum class QuorumSide : std::uint8_t {
+  kPrimary,   ///< may keep serving: re-tree collectives, accept dials
+  kMinority,  ///< must fail fast: no new channels, no collectives
+};
+
+/// The strict-majority quorum rule. Live ranks are everything the view does
+/// not hold kDead (suspects and rejoiners still count — only a confirmed
+/// death removes a vote). A side is primary iff its live ranks form a
+/// strict majority of the configured machine; an exact half/half tie goes
+/// to the side containing the lowest surviving rank, so exactly one side of
+/// any bisection is ever primary.
+[[nodiscard]] QuorumSide quorum_side(const MembershipView& v);
 
 }  // namespace meshmp::cluster

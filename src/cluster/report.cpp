@@ -36,6 +36,8 @@ ClusterReport make_report(GigeMeshCluster& cluster) {
     r.node_restarts += ac.get("node_restarts");
     r.stale_epoch_drops += ac.get("rx_stale_epoch");
     r.table_routed_frames += ac.get("table_routed_frames");
+    r.partition_flushes += ac.get("partition_flushes");
+    r.minority_refusals += ac.get("conn_minority_refused");
     for (std::uint32_t v = 0;
          v < static_cast<std::uint32_t>(agent.vi_count()); ++v) {
       const auto& vc = agent.vi(v).counters();
@@ -61,7 +63,8 @@ std::string ClusterReport::str() const {
       "fault handling      : %lld rerouted, %lld unreachable, %lld TTL, "
       "%lld VI failures\n"
       "node lifecycle      : %lld crashes, %lld restarts, %lld stale-epoch, "
-      "%lld table-routed\n",
+      "%lld table-routed\n"
+      "partition tolerance : %lld flushes, %lld minority-refusals\n",
       sim_seconds, avg_cpu_utilization * 100, max_cpu_utilization * 100,
       static_cast<long long>(tx_frames), static_cast<long long>(rx_frames),
       static_cast<long long>(forwarded_frames),
@@ -79,7 +82,9 @@ std::string ClusterReport::str() const {
       static_cast<long long>(node_crashes),
       static_cast<long long>(node_restarts),
       static_cast<long long>(stale_epoch_drops),
-      static_cast<long long>(table_routed_frames));
+      static_cast<long long>(table_routed_frames),
+      static_cast<long long>(partition_flushes),
+      static_cast<long long>(minority_refusals));
   return buf;
 }
 

@@ -35,6 +35,8 @@ struct ClusterReport {
   std::int64_t node_restarts = 0;       ///< cold starts after a crash
   std::int64_t stale_epoch_drops = 0;   ///< frames from a previous incarnation
   std::int64_t table_routed_frames = 0;  ///< frames sent via a degraded table
+  std::int64_t partition_flushes = 0;    ///< epoch-bumping VI flushes on heal
+  std::int64_t minority_refusals = 0;    ///< dials/sends refused on minority
 
   /// Full metrics-registry view at snapshot time: every live counter group
   /// plus latency/size histogram summaries (p50/p95/p99). The scalar fields

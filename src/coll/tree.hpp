@@ -73,4 +73,39 @@ sim::Task<> allreduce_survivors(mp::Endpoint& ep, std::vector<std::byte>& data,
                                 const ReduceOp& op, int tag,
                                 const std::vector<bool>& dead);
 
+// -- quorum-gated (partition-safe) collectives ------------------------------
+//
+// Split-brain-safe wrappers for partitioned machines. A rank whose kernel
+// agent is flagged minority fails fast with kMinorityPartition before
+// touching the wire — a minority-side collective can never represent the
+// machine, so it must not silently compute over the fragment. Primary-side
+// ranks run the survivor-tree algorithms over their converged dead set and
+// propagate wire failures (a peer dying mid-collective) as kUnreachable
+// instead of ignoring them. Only live primary-side ranks participate; all
+// must pass the same `dead` set.
+
+/// Quorum-gated broadcast over the survivor tree. kOk on every participant
+/// iff the payload reached the whole primary side.
+sim::Task<mp::SendStatus> broadcast_quorum(mp::Endpoint& ep, topo::Rank root,
+                                           std::vector<std::byte>& data,
+                                           int tag,
+                                           const std::vector<bool>& dead);
+
+/// Quorum-gated reduction over the survivor tree.
+sim::Task<mp::SendStatus> reduce_quorum(mp::Endpoint& ep, topo::Rank root,
+                                        std::vector<std::byte>& data,
+                                        const ReduceOp& op, int tag,
+                                        const std::vector<bool>& dead);
+
+/// Quorum-gated global combining, rooted at the lowest live rank. Uses tag
+/// and tag+1.
+sim::Task<mp::SendStatus> allreduce_quorum(mp::Endpoint& ep,
+                                           std::vector<std::byte>& data,
+                                           const ReduceOp& op, int tag,
+                                           const std::vector<bool>& dead);
+
+/// Quorum-gated barrier (null reduction). Uses tag and tag+1.
+sim::Task<mp::SendStatus> barrier_quorum(mp::Endpoint& ep, int tag,
+                                         const std::vector<bool>& dead);
+
 }  // namespace meshmp::coll

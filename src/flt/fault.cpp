@@ -15,6 +15,10 @@ bool is_node_event(FaultEvent::Kind k) {
          k == FaultEvent::Kind::kNodeRestart;
 }
 
+bool is_machine_event(FaultEvent::Kind k) {
+  return k == FaultEvent::Kind::kPartition || k == FaultEvent::Kind::kHeal;
+}
+
 const char* kind_name(FaultEvent::Kind k) {
   switch (k) {
     case FaultEvent::Kind::kLinkDown:
@@ -37,15 +41,49 @@ const char* kind_name(FaultEvent::Kind k) {
       return "node_crash";
     case FaultEvent::Kind::kNodeRestart:
       return "node_restart";
+    case FaultEvent::Kind::kPartition:
+      return "partition";
+    case FaultEvent::Kind::kHeal:
+      return "heal";
   }
   return "?";
 }
 
-[[noreturn]] void reject(const FaultEvent& ev, const char* why) {
-  char buf[160];
-  std::snprintf(buf, sizeof buf,
-                "flt::Schedule: %s at t=%lld on node %d: %s", kind_name(ev.kind),
-                static_cast<long long>(ev.at), static_cast<int>(ev.node), why);
+/// What the event acts on, for error messages: a node, a (node, dir) port,
+/// a partition spec, or (for heal) whatever partitions are open.
+void fmt_target(char* out, std::size_t n, const FaultEvent& ev,
+                const PartitionSpec* spec) {
+  switch (ev.kind) {
+    case FaultEvent::Kind::kNodeCrash:
+    case FaultEvent::Kind::kNodeRestart:
+      std::snprintf(out, n, "node %d", static_cast<int>(ev.node));
+      return;
+    case FaultEvent::Kind::kPartition:
+      if (spec != nullptr && spec->kind == PartitionSpec::Kind::kPlane) {
+        std::snprintf(out, n, "plane dim=%d cut=%d", spec->dim, spec->cut);
+      } else {
+        std::snprintf(out, n, "%zu explicit links",
+                      spec != nullptr ? spec->links.size() : std::size_t{0});
+      }
+      return;
+    case FaultEvent::Kind::kHeal:
+      std::snprintf(out, n, "all open partitions");
+      return;
+    default:
+      std::snprintf(out, n, "node %d dir %c%d", static_cast<int>(ev.node),
+                    ev.dir.sign > 0 ? '+' : '-', static_cast<int>(ev.dir.dim));
+      return;
+  }
+}
+
+[[noreturn]] void reject(std::size_t index, const FaultEvent& ev,
+                         const PartitionSpec* spec, const char* why) {
+  char target[64];
+  fmt_target(target, sizeof target, ev, spec);
+  char buf[224];
+  std::snprintf(buf, sizeof buf, "flt::Schedule: event #%zu (%s at t=%lld, %s): %s",
+                index, kind_name(ev.kind), static_cast<long long>(ev.at),
+                target, why);
   throw std::invalid_argument(buf);
 }
 
@@ -54,6 +92,17 @@ const char* kind_name(FaultEvent::Kind k) {
 Injector::Injector(cluster::GigeMeshCluster& cluster, Schedule schedule)
     : cluster_(cluster), schedule_(std::move(schedule)) {
   validate();
+  // Expand every partition spec into its concrete cable list once, against
+  // the validated torus, so apply() cuts a fixed deterministic set.
+  partition_links_.reserve(schedule_.partitions().size());
+  for (const PartitionSpec& sp : schedule_.partitions()) {
+    if (sp.kind == PartitionSpec::Kind::kPlane) {
+      partition_links_.push_back(
+          cluster_.torus().bisection_links(sp.dim, sp.cut));
+    } else {
+      partition_links_.push_back(sp.links);
+    }
+  }
   auto& eng = cluster_.engine();
   for (const FaultEvent& ev : schedule_.events()) {
     eng.schedule_at(ev.at, [this, ev] { apply(ev); }, "fault");
@@ -65,15 +114,43 @@ void Injector::validate() const {
   const sim::Time now = cluster_.engine().now();
   const std::vector<FaultEvent>& evs = schedule_.events();
 
-  for (const FaultEvent& ev : evs) {
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    const FaultEvent& ev = evs[i];
+    const PartitionSpec* sp =
+        ev.kind == FaultEvent::Kind::kPartition
+            ? &schedule_.partitions().at(static_cast<std::size_t>(ev.spec))
+            : nullptr;
     if (ev.node < 0 || ev.node >= t.size()) {
-      reject(ev, "rank out of range");
+      reject(i, ev, sp, "rank out of range");
     }
     if (ev.at < now) {
-      reject(ev, "event is in the past");
+      reject(i, ev, sp, "event is in the past");
     }
-    if (!is_node_event(ev.kind) && !t.neighbor(ev.node, ev.dir)) {
-      reject(ev, "no link at (node, dir)");
+    if (!is_node_event(ev.kind) && !is_machine_event(ev.kind) &&
+        !t.neighbor(ev.node, ev.dir)) {
+      reject(i, ev, sp, "no link at (node, dir)");
+    }
+    if (sp != nullptr) {
+      if (sp->kind == PartitionSpec::Kind::kPlane) {
+        if (sp->dim < 0 || sp->dim >= t.ndims()) {
+          reject(i, ev, sp, "plane dimension out of range");
+        }
+        if (sp->cut <= 0 || sp->cut >= t.shape()[sp->dim]) {
+          reject(i, ev, sp, "plane cut must leave both sides non-empty");
+        }
+      } else {
+        if (sp->links.empty()) {
+          reject(i, ev, sp, "explicit link set is empty");
+        }
+        for (const auto& [node, dir] : sp->links) {
+          if (node < 0 || node >= t.size()) {
+            reject(i, ev, sp, "link endpoint rank out of range");
+          }
+          if (!t.neighbor(node, dir)) {
+            reject(i, ev, sp, "no link at (node, dir)");
+          }
+        }
+      }
     }
   }
 
@@ -92,45 +169,52 @@ void Injector::validate() const {
   const auto wkey = [](const FaultEvent& ev, std::uint64_t cls) {
     return (cls << 48) | port_key(ev.node, ev.dir);
   };
-  const auto open_window = [&](const FaultEvent& ev, std::uint64_t cls) {
+  const auto open_window = [&](std::size_t i, const FaultEvent& ev,
+                               std::uint64_t cls) {
     auto [it, fresh] = open.emplace(wkey(ev, cls), ev.at);
-    if (!fresh && it->second >= 0) reject(ev, "window opened twice");
+    if (!fresh && it->second >= 0) reject(i, ev, nullptr, "window opened twice");
     it->second = ev.at;
   };
-  const auto close_window = [&](const FaultEvent& ev, std::uint64_t cls) {
+  const auto close_window = [&](std::size_t i, const FaultEvent& ev,
+                                std::uint64_t cls) {
     auto it = open.find(wkey(ev, cls));
     if (it == open.end() || it->second < 0) {
-      reject(ev, "stop without an open window");
+      reject(i, ev, nullptr, "stop without an open window");
     }
-    if (ev.at <= it->second) reject(ev, "window is empty or inverted");
+    if (ev.at <= it->second) reject(i, ev, nullptr, "window is empty or inverted");
     it->second = -1;
   };
+
+  // Partition/heal alternate machine-wide: a heal needs at least one open
+  // partition and must fire strictly after the latest one it closes.
+  sim::Time last_partition_at = -1;
+  int open_partitions = 0;
 
   for (std::size_t i : order) {
     const FaultEvent& ev = evs[i];
     switch (ev.kind) {
       case FaultEvent::Kind::kLossStart:
-        open_window(ev, 1);
+        open_window(i, ev, 1);
         break;
       case FaultEvent::Kind::kLossStop:
-        close_window(ev, 1);
+        close_window(i, ev, 1);
         break;
       case FaultEvent::Kind::kCorruptStart:
-        open_window(ev, 2);
+        open_window(i, ev, 2);
         break;
       case FaultEvent::Kind::kCorruptStop:
-        close_window(ev, 2);
+        close_window(i, ev, 2);
         break;
       case FaultEvent::Kind::kStallStart:
-        open_window(ev, 3);
+        open_window(i, ev, 3);
         break;
       case FaultEvent::Kind::kStallStop:
-        close_window(ev, 3);
+        close_window(i, ev, 3);
         break;
       case FaultEvent::Kind::kNodeCrash: {
         auto [it, fresh] = down_since.emplace(ev.node, ev.at);
         if (!fresh && it->second >= 0) {
-          reject(ev, "node is already crashed");
+          reject(i, ev, nullptr, "node is already crashed");
         }
         it->second = ev.at;
         break;
@@ -138,12 +222,28 @@ void Injector::validate() const {
       case FaultEvent::Kind::kNodeRestart: {
         auto it = down_since.find(ev.node);
         if (it == down_since.end() || it->second < 0) {
-          reject(ev, "restart without a prior crash");
+          reject(i, ev, nullptr, "restart without a prior crash");
         }
-        if (ev.at <= it->second) reject(ev, "restart not after the crash");
+        if (ev.at <= it->second) {
+          reject(i, ev, nullptr, "restart not after the crash");
+        }
         it->second = -1;
         break;
       }
+      case FaultEvent::Kind::kPartition:
+        ++open_partitions;
+        if (ev.at > last_partition_at) last_partition_at = ev.at;
+        break;
+      case FaultEvent::Kind::kHeal:
+        if (open_partitions == 0) {
+          reject(i, ev, nullptr, "heal without an open partition");
+        }
+        if (ev.at <= last_partition_at) {
+          reject(i, ev, nullptr, "heal not after the partition");
+        }
+        open_partitions = 0;
+        last_partition_at = -1;
+        break;
       case FaultEvent::Kind::kLinkDown:
       case FaultEvent::Kind::kLinkUp:
         break;  // carrier writes are idempotent; any order is meaningful
@@ -168,6 +268,23 @@ void Injector::apply(const FaultEvent& ev) {
   if (ev.kind == FaultEvent::Kind::kNodeRestart) {
     cluster_.power_restore_node(ev.node);
     counters_.inc("node_restarts");
+    return;
+  }
+  if (ev.kind == FaultEvent::Kind::kPartition) {
+    for (const auto& [node, dir] :
+         partition_links_[static_cast<std::size_t>(ev.spec)]) {
+      set_cable_carrier(node, dir, false);
+      cut_links_.emplace_back(node, dir);
+    }
+    counters_.inc("partitions");
+    return;
+  }
+  if (ev.kind == FaultEvent::Kind::kHeal) {
+    for (const auto& [node, dir] : cut_links_) {
+      set_cable_carrier(node, dir, true);
+    }
+    cut_links_.clear();
+    counters_.inc("heals");
     return;
   }
   hw::Nic& nic = cluster_.nic(ev.node, ev.dir);
@@ -213,6 +330,8 @@ void Injector::apply(const FaultEvent& ev) {
       break;
     case FaultEvent::Kind::kNodeCrash:
     case FaultEvent::Kind::kNodeRestart:
+    case FaultEvent::Kind::kPartition:
+    case FaultEvent::Kind::kHeal:
       break;  // handled above, before the port lookup
   }
 }

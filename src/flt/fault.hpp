@@ -11,6 +11,7 @@
 // checker: rebuild the scenario, replay the same schedule, compare digests.
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "chk/flat_map.hpp"
@@ -37,12 +38,27 @@ struct FaultEvent {
     kStallStop,
     kNodeCrash,    ///< whole-node power failure; dir unused
     kNodeRestart,  ///< cold start of a previously crashed node; dir unused
+    kPartition,    ///< cut every link of a PartitionSpec; node/dir unused
+    kHeal,         ///< restore every link cut by prior partitions
   };
   Kind kind = Kind::kLinkDown;
   sim::Time at = 0;
   topo::Rank node = 0;
   topo::Dir dir{};
-  double prob = 0;  ///< loss/corrupt probability during a burst
+  double prob = 0;    ///< loss/corrupt probability during a burst
+  std::int32_t spec = -1;  ///< kPartition: index into Schedule::partitions()
+};
+
+/// The deterministic link set a kPartition event cuts: either a full
+/// bisection plane of the torus (every cable crossing coordinate `cut` along
+/// `dim`, wraparound plane included, so the machine genuinely splits in
+/// two), or an arbitrary explicit cable list.
+struct PartitionSpec {
+  enum class Kind : std::uint8_t { kPlane, kLinks };
+  Kind kind = Kind::kPlane;
+  int dim = 0;  ///< kPlane: dimension to bisect
+  int cut = 0;  ///< kPlane: low side is coord[dim] < cut
+  std::vector<std::pair<topo::Rank, topo::Dir>> links;  ///< kLinks
 };
 
 /// Fault schedule builder. All times are absolute simulated times.
@@ -97,9 +113,36 @@ class Schedule {
     node_crash(at, node);
     return node_restart(at + down_for, node);
   }
+  /// Cuts the full bisection plane of dimension `dim` at coordinate `cut`
+  /// (wraparound plane included) at `at`, splitting the torus in two.
+  Schedule& partition_plane(sim::Time at, int dim, int cut) {
+    return add_partition(at, PartitionSpec{PartitionSpec::Kind::kPlane, dim,
+                                           cut, {}});
+  }
+  /// Cuts an explicit cable set at `at` (each cable named once from either
+  /// end).
+  Schedule& partition_links(sim::Time at,
+                            std::vector<std::pair<topo::Rank, topo::Dir>> ls) {
+    return add_partition(
+        at, PartitionSpec{PartitionSpec::Kind::kLinks, 0, 0, std::move(ls)});
+  }
+  /// Restores every cable cut by the partitions still open at `at`. Must
+  /// come strictly after the partitions it heals.
+  Schedule& heal(sim::Time at) {
+    return add({FaultEvent::Kind::kHeal, at, 0, {}, 0, -1});
+  }
+  /// Plane partition at `at`, healed after `down_for`.
+  Schedule& partition_window(sim::Time at, int dim, int cut,
+                             sim::Duration down_for) {
+    partition_plane(at, dim, cut);
+    return heal(at + down_for);
+  }
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
     return events_;
+  }
+  [[nodiscard]] const std::vector<PartitionSpec>& partitions() const noexcept {
+    return partitions_;
   }
   [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
 
@@ -108,7 +151,13 @@ class Schedule {
     events_.push_back(ev);
     return *this;
   }
+  Schedule& add_partition(sim::Time at, PartitionSpec spec) {
+    const auto id = static_cast<std::int32_t>(partitions_.size());
+    partitions_.push_back(std::move(spec));
+    return add({FaultEvent::Kind::kPartition, at, 0, {}, 0, id});
+  }
   std::vector<FaultEvent> events_;
+  std::vector<PartitionSpec> partitions_;
 };
 
 /// Arms a Schedule on a cluster's simulation clock. Construct after the
@@ -126,9 +175,11 @@ class Injector {
  private:
   /// Arm-time schedule validation: ranks and links must exist, events must
   /// not be in the past, burst/stall windows on a port must open before they
-  /// close and never nest, and node crash/restart sequences must alternate
-  /// (a restart needs a prior crash, a crashed node can't crash again).
-  /// Throws std::invalid_argument naming the offending event.
+  /// close and never nest, node crash/restart sequences must alternate (a
+  /// restart needs a prior crash, a crashed node can't crash again), and
+  /// every heal must close at least one partition opened strictly earlier.
+  /// Throws std::invalid_argument naming the offending event (index,
+  /// sim-time, kind, target).
   void validate() const;
   void apply(const FaultEvent& ev);
   /// Sets carrier on both ends of the (node, dir) cable.
@@ -146,6 +197,11 @@ class Injector {
   // fault state must never introduce hash-order nondeterminism.
   chk::FlatMap<std::uint64_t, double> saved_drop_;
   chk::FlatMap<std::uint64_t, double> saved_corrupt_;
+  // Per-PartitionSpec cable lists, expanded once against the cluster torus
+  // at arm time so kPartition/kHeal apply a fixed, validated set.
+  std::vector<std::vector<std::pair<topo::Rank, topo::Dir>>> partition_links_;
+  // Cables currently cut by partitions, restored (and cleared) by kHeal.
+  std::vector<std::pair<topo::Rank, topo::Dir>> cut_links_;
   sim::Counters counters_;
 };
 

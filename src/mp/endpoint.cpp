@@ -141,6 +141,20 @@ void Endpoint::fail_channel(int dst, OutChannel& ch) {
   }
 }
 
+void Endpoint::reset_peer(int dst) {
+  auto it = out_.find(dst);
+  if (it == out_.end()) return;
+  OutChannel& ch = *it->second;
+  if (!ch.failed) return;
+  if (ch.vi != nullptr) {
+    auto vit = out_by_vi_.find(ch.vi->id());
+    if (vit != out_by_vi_.end() && vit->second == &ch) out_by_vi_.erase(vit);
+  }
+  retired_.push_back(std::move(it->second));
+  out_.erase(it);
+  counters_.inc("channels_reset");
+}
+
 void Endpoint::piggyback_credits(int peer, Imm& imm) {
   auto it = in_.find(peer);
   if (it == in_.end()) return;
@@ -207,10 +221,25 @@ Task<SendStatus> Endpoint::send(int dst, int tag, buf::Slice data) {
     co_return SendStatus::kOk;
   }
 
+  // Quorum fail-fast: a minority side must not open new channels on its
+  // half-machine view. Channels established before the partition keep
+  // working (or die through the failure detector) — only fresh dials and
+  // collectives are refused.
+  if (agent_.minority() && !out_.contains(dst)) {
+    counters_.inc("send_minority_rejected");
+    agent_.note_minority_refusal();
+    co_return SendStatus::kMinorityPartition;
+  }
+
   auto& cpu = agent_.node().cpu();
   const auto size = static_cast<std::int64_t>(data.size());
   OutChannel& ch = *co_await out_channel(dst);
   if (ch.failed) {
+    if (ch.vi != nullptr &&
+        ch.vi->error() == via::ViError::kMinorityPartition) {
+      counters_.inc("send_minority_rejected");
+      co_return SendStatus::kMinorityPartition;
+    }
     counters_.inc("send_unreachable");
     co_return SendStatus::kUnreachable;
   }

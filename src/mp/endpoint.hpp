@@ -51,10 +51,13 @@ struct Message {
 /// Outcome of a send. Failures are structured, not exceptional: an
 /// unreachable peer (dead link with no surviving detour, retry budget
 /// exhausted) reports kUnreachable instead of hanging or aborting, and the
-/// channel stays failed for subsequent sends.
+/// channel stays failed for subsequent sends. A node on a minority
+/// partition refuses to open new channels at all — kMinorityPartition —
+/// until quorum is restored by healing.
 enum class SendStatus : std::uint8_t {
   kOk = 0,
   kUnreachable = 1,
+  kMinorityPartition = 2,
 };
 
 class Endpoint {
@@ -108,6 +111,13 @@ class Endpoint {
   /// with msg.ok == false instead of hanging on a peer that will never send.
   /// Upper layers call this when the failure detector confirms a death.
   void cancel_posted_recvs(int src = kAny);
+
+  /// Forgets a *failed* channel to `dst` so the next send re-dials instead
+  /// of failing fast forever. Upper layers call this when membership says
+  /// the peer is alive again (rejoin, partition heal). A healthy channel is
+  /// left untouched; senders still blocked on the failed channel complete
+  /// with their original error.
+  void reset_peer(int dst);
 
   /// Number of unexpected (arrived but unmatched) messages — diagnostics.
   [[nodiscard]] std::size_t unexpected_count() const noexcept {
@@ -215,6 +225,10 @@ class Endpoint {
   chk::FlatMap<int, std::unique_ptr<OutChannel>> out_;
   chk::FlatMap<std::uint32_t, OutChannel*> out_by_vi_;  // local vi id
   chk::FlatMap<int, std::vector<std::unique_ptr<InVi>>> in_;
+  // Channels replaced by reset_peer. Senders woken by fail_channel resume
+  // *after* the reset (Signal::notify_all posts through the engine), so the
+  // failed object must outlive them; they finish with their original error.
+  std::vector<std::unique_ptr<OutChannel>> retired_;
 
   std::deque<std::shared_ptr<PostedRecv>> posted_;
   std::deque<Unexpected> unexpected_;

@@ -13,6 +13,18 @@ constexpr int kClassBit = 1 << 23;
 constexpr int kCtxShift = 19;
 constexpr int kCtxMask = 0xF << kCtxShift;
 constexpr std::uint32_t kMaxCtx = 14;  // 15 reserved for QMP
+
+int map_send_status(mp::SendStatus st) {
+  switch (st) {
+    case mp::SendStatus::kOk:
+      return kSuccess;
+    case mp::SendStatus::kUnreachable:
+      return kErrUnreachable;
+    case mp::SendStatus::kMinorityPartition:
+      return kErrMinorityPartition;
+  }
+  return kErrUnreachable;
+}
 }  // namespace
 
 bool Request::done() const noexcept { return st_ && st_->finished; }
@@ -64,7 +76,7 @@ int Comm::coll_tag(int op) {
 Task<int> Comm::send(std::vector<std::byte> data, int dest, int tag) {
   const mp::SendStatus st =
       co_await ep_->send(dest, user_tag(tag), std::move(data));
-  co_return st == mp::SendStatus::kOk ? kSuccess : kErrUnreachable;
+  co_return map_send_status(st);
 }
 
 Task<Status> Comm::recv(std::vector<std::byte>& out, int source, int tag) {
@@ -120,8 +132,7 @@ namespace {
 Task<> run_isend(mp::Endpoint& ep, std::shared_ptr<Request::State> st,
                  std::vector<std::byte> data, int dest, int wire_tag) {
   const mp::SendStatus rc = co_await ep.send(dest, wire_tag, std::move(data));
-  st->status.error =
-      rc == mp::SendStatus::kOk ? kSuccess : kErrUnreachable;
+  st->status.error = map_send_status(rc);
   st->finished = true;
   st->done.fire();
 }

@@ -36,15 +36,18 @@ inline constexpr int kTagUb = (1 << 19) - 1;
 
 /// Return codes (MPI_SUCCESS-style). Communication failures surface as error
 /// codes, never as hangs or aborts: an unreachable peer (link dead, no
-/// surviving route, retry budget exhausted) yields kErrUnreachable.
+/// surviving route, retry budget exhausted) yields kErrUnreachable; a send
+/// issued from the minority side of a partitioned machine is refused with
+/// kErrMinorityPartition until quorum is restored.
 inline constexpr int kSuccess = 0;
 inline constexpr int kErrUnreachable = 1;
+inline constexpr int kErrMinorityPartition = 2;
 
 struct Status {
   int source = kAnySource;
   int tag = kAnyTag;
   std::int64_t count = 0;   ///< received bytes
-  int error = kSuccess;     ///< kSuccess or kErrUnreachable
+  int error = kSuccess;     ///< kSuccess / kErrUnreachable / kErrMinorityPartition
 };
 
 /// Handle for a nonblocking operation. Copyable (shared state).

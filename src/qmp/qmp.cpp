@@ -73,6 +73,8 @@ const char* to_string(Status s) noexcept {
       return "success";
     case Status::kErrUnreachable:
       return "unreachable";
+    case Status::kErrMinorityPartition:
+      return "minority-partition";
   }
   return "?";
 }
@@ -83,8 +85,10 @@ Task<> Machine::run_send(MsgHandle* h, sim::Trigger* done) {
   // message *comes from*: the opposite of our send direction.
   const mp::SendStatus rc =
       co_await ep_->send(dest, dir_tag(h->dir_.opposite()), h->mem_->buf);
-  h->status_ =
-      rc == mp::SendStatus::kOk ? Status::kSuccess : Status::kErrUnreachable;
+  h->status_ = rc == mp::SendStatus::kOk ? Status::kSuccess
+               : rc == mp::SendStatus::kMinorityPartition
+                   ? Status::kErrMinorityPartition
+                   : Status::kErrUnreachable;
   done->fire();
 }
 

@@ -24,10 +24,12 @@ namespace meshmp::qmp {
 
 /// QMP_status_t-style return codes. A send whose peer became unreachable
 /// (dead link, no surviving route) completes with kErrUnreachable instead of
-/// hanging the wait.
+/// hanging the wait; a send issued from the minority side of a partitioned
+/// machine is refused with kErrMinorityPartition until quorum returns.
 enum class Status : std::uint8_t {
   kSuccess = 0,
   kErrUnreachable = 1,
+  kErrMinorityPartition = 2,
 };
 
 [[nodiscard]] const char* to_string(Status s) noexcept;

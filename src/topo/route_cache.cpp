@@ -1,0 +1,40 @@
+#include "topo/route_cache.hpp"
+
+#include "chk/digest.hpp"
+
+namespace meshmp::topo {
+
+std::uint64_t RouteTableCache::key(Rank src, const std::vector<bool>& dead) {
+  // Digest the dead set bit-by-bit (vector<bool> has no contiguous bytes to
+  // hash), then fold in the source rank so per-node tables never alias.
+  std::uint64_t h = chk::kFnvOffset;
+  std::uint64_t word = 0;
+  std::size_t nbits = 0;
+  for (std::size_t r = 0; r < dead.size(); ++r) {
+    if (dead[r]) word |= std::uint64_t{1} << (r % 64);
+    if (++nbits == 64 || r + 1 == dead.size()) {
+      h = chk::fnv1a_u64(h, word);
+      word = 0;
+      nbits = 0;
+    }
+  }
+  return chk::fnv1a_u64(h, static_cast<std::uint64_t>(src));
+}
+
+const std::vector<std::int8_t>& RouteTableCache::get(
+    const Torus& torus, Rank src, const std::vector<bool>& dead) {
+  const std::uint64_t k = key(src, dead);
+  auto [it, fresh] = entries_.emplace(k, Entry{});
+  if (!fresh && it->second.dead == dead) {
+    ++hits_;
+    return it->second.table;
+  }
+  // Miss, or a digest collision (different dead set behind the same key):
+  // recompute and overwrite so correctness never rests on the digest.
+  ++misses_;
+  it->second.dead = dead;
+  it->second.table = torus.route_table_avoiding(src, dead);
+  return it->second.table;
+}
+
+}  // namespace meshmp::topo

@@ -1,0 +1,53 @@
+#pragma once
+
+// Memoized degraded-mode route tables.
+//
+// Torus::route_table_avoiding is a full BFS over the torus — cheap once, but
+// the membership layer recomputes a node's table on *every* dead-boundary
+// transition it applies, and during a partition (or a flood of correlated
+// deaths) hundreds of nodes churn through the same handful of avoidance
+// sets. This cache keys computed tables by (source rank, FNV-1a digest of
+// the dead bitset) so repeated membership deltas that land on an
+// already-seen avoidance set reuse the table instead of re-running BFS.
+//
+// The stored dead set is compared on every digest hit, so a digest collision
+// degrades to a recompute, never to a wrong table. Entries persist until
+// clear(); the map is a chk::FlatMap because route state must never iterate
+// in hash order.
+
+#include <cstdint>
+#include <vector>
+
+#include "chk/flat_map.hpp"
+#include "topo/torus.hpp"
+
+namespace meshmp::topo {
+
+class RouteTableCache {
+ public:
+  /// The first-hop table for `src` avoiding `dead`, computed at most once
+  /// per distinct (src, dead) pair. The reference stays valid until clear().
+  const std::vector<std::int8_t>& get(const Torus& torus, Rank src,
+                                      const std::vector<bool>& dead);
+
+  /// Drops every entry (e.g. when the cluster heals and stale avoidance
+  /// sets will never recur).
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::vector<bool> dead;  ///< collision check: digests are not identities
+    std::vector<std::int8_t> table;
+  };
+  static std::uint64_t key(Rank src, const std::vector<bool>& dead);
+
+  chk::FlatMap<std::uint64_t, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace meshmp::topo

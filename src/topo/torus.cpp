@@ -242,6 +242,28 @@ std::vector<std::int8_t> Torus::route_table_avoiding(
   return first;
 }
 
+std::vector<std::pair<Rank, Dir>> Torus::bisection_links(int dim,
+                                                         int cut) const {
+  if (dim < 0 || dim >= ndims()) {
+    throw std::invalid_argument("Torus::bisection_links: dimension not in [0, ndims)");
+  }
+  if (cut <= 0 || cut >= shape_[dim]) {
+    throw std::invalid_argument("Torus::bisection_links: cut must leave both sides non-empty");
+  }
+  std::vector<std::pair<Rank, Dir>> links;
+  for (Rank r = 0; r < size_; ++r) {
+    const Coord c = coord(r);
+    if (c[dim] >= cut) continue;  // low side only; each cable has one low end
+    for (const int sign : {+1, -1}) {
+      const Dir d{static_cast<std::int8_t>(dim), static_cast<std::int8_t>(sign)};
+      const auto n = neighbor(c, d);
+      if (!n) continue;
+      if ((*n)[dim] >= cut) links.emplace_back(r, d);
+    }
+  }
+  return links;
+}
+
 std::vector<Dir> Torus::directions(const Coord& c) const {
   std::vector<Dir> dirs;
   for (int d = 0; d < ndims(); ++d) {

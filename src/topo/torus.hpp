@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "topo/coords.hpp"
@@ -103,6 +104,15 @@ class Torus {
   /// so every survivor computes the same table for the same dead set.
   [[nodiscard]] std::vector<std::int8_t> route_table_avoiding(
       Rank src, const std::vector<bool>& dead) const;
+
+  /// All cables crossing the bisection of dimension `dim` at coordinate
+  /// `cut`: the low side is every node with coord[dim] < cut, and a cable is
+  /// listed once as (low-side rank, direction toward the high side). On a
+  /// wrapped torus this includes the wraparound plane (the -dim links out of
+  /// coord 0), so cutting the returned set genuinely disconnects the two
+  /// sides. Requires 0 < cut < extent(dim); deterministic rank order.
+  [[nodiscard]] std::vector<std::pair<Rank, Dir>> bisection_links(
+      int dim, int cut) const;
 
  private:
   Coord shape_;

@@ -87,6 +87,9 @@ void KernelAgent::link_change(hw::Nic& nic, bool up) {
     failed_dirs_ |= bit;
     counters_.inc("link_down_events");
   }
+  if (link_observer_) {
+    link_observer_(topo::Dir::from_index(it->second), up);
+  }
 }
 
 Vi& KernelAgent::create_vi() {
@@ -105,6 +108,14 @@ void KernelAgent::listen(std::uint32_t service) {
 Task<Vi*> KernelAgent::connect(net::NodeId remote, std::uint32_t service) {
   Vi& vi = create_vi();
   vi.remote_node_ = remote;
+  if (minority_) {
+    // Quorum says this side must not open new channels: resolve the dial
+    // immediately with a structured refusal instead of probing a cut that
+    // will never answer.
+    counters_.inc("conn_minority_refused");
+    fail_vi(vi, ViError::kMinorityPartition);
+    co_return &vi;
+  }
   ViaHeader h;
   h.kind = MsgKind::kConnReq;
   h.src_vi = vi.id();
@@ -363,10 +374,12 @@ Task<> KernelAgent::handle_rx(net::Frame frame, hw::IsrContext& ctx) {
       co_return;
     }
     case MsgKind::kHeartbeat:
-    case MsgKind::kMembership: {
+    case MsgKind::kMembership:
+    case MsgKind::kReconcile: {
       co_await ctx.spend(hp.via_rx_per_frame);
-      counters_.inc(h->kind == MsgKind::kHeartbeat ? "rx_heartbeats"
-                                                   : "rx_membership");
+      counters_.inc(h->kind == MsgKind::kHeartbeat    ? "rx_heartbeats"
+                    : h->kind == MsgKind::kReconcile ? "rx_reconcile"
+                                                     : "rx_membership");
       if (control_handler_) control_handler_(*h, frame.src, frame.payload);
       co_return;
     }
@@ -698,6 +711,50 @@ void KernelAgent::peer_declared_dead(net::NodeId peer) {
   }
 }
 
+void KernelAgent::set_minority(bool m) {
+  if (minority_ == m) return;
+  minority_ = m;
+  counters_.inc(m ? "minority_entered" : "minority_cleared");
+  MESHMP_TRACE_INSTANT(node_.cpu().engine(), obs::Cat::kVia, me_,
+                       m ? "minority_enter" : "minority_clear");
+}
+
+void KernelAgent::partition_flush() {
+  ++epoch_;  // the post-heal incarnation: pre-heal frames no longer match
+  counters_.inc("partition_flushes");
+  MESHMP_TRACE_INSTANT(node_.cpu().engine(), obs::Cat::kVia, me_,
+                       "partition_flush");
+  // Every channel established on the partitioned view dies here — the same
+  // teardown as power_fail(), minus the power cycle. Local blockers wake
+  // with structured errors and re-establish against the merged view.
+  for (auto& vi : vis_) {
+    vi->unacked_.clear();
+    vi->frames_since_ack_ = 0;
+    vi->rx_ = Vi::Reassembly{};
+    fail_vi(*vi, ViError::kUnreachable);
+  }
+  kcolls_.clear();
+  for (auto& [service, q] : accept_queues_) {
+    while (q->try_pop()) {
+    }
+  }
+  // Peers re-dialing under their own bumped epochs must get fresh accepts.
+  accepted_vis_.clear();
+  clear_route_table();
+}
+
+void KernelAgent::peer_reincarnated(net::NodeId peer, std::uint32_t epoch) {
+  for (auto& vi : vis_) {
+    if (vi->remote_node_ == peer && vi->connected_ && !vi->failed_ &&
+        vi->remote_epoch_ < epoch) {
+      // The peer moved to a new incarnation: this VI's sequence space and
+      // retransmit window mean nothing to it any more.
+      vi->unacked_.clear();
+      fail_vi(*vi, ViError::kUnreachable);
+    }
+  }
+}
+
 void KernelAgent::set_route_table(std::vector<std::int8_t> table) {
   assert(table.size() == static_cast<std::size_t>(torus_.size()));
   route_table_ = std::move(table);
@@ -712,8 +769,9 @@ void KernelAgent::send_control(net::NodeId dst, MsgKind kind,
   ViaHeader h;
   h.kind = kind;
   h.immediate = immediate;
-  counters_.inc(kind == MsgKind::kHeartbeat ? "tx_heartbeats"
-                                            : "tx_membership");
+  counters_.inc(kind == MsgKind::kHeartbeat    ? "tx_heartbeats"
+                : kind == MsgKind::kReconcile ? "tx_reconcile"
+                                              : "tx_membership");
   kernel_post(make_frame(dst, h, std::move(payload)));
 }
 

@@ -104,6 +104,37 @@ class KernelAgent final : public hw::NicDriver {
   /// instead of burning through the full retransmit budget.
   void peer_declared_dead(net::NodeId peer);
 
+  // -- partition tolerance ------------------------------------------------
+  /// Quorum verdict from the membership layer. While set, new dials fail
+  /// fast with kMinorityPartition (and upper layers refuse collectives/new
+  /// channels) — a minority side must not keep serving on a half-machine
+  /// view.
+  void set_minority(bool m);
+  [[nodiscard]] bool minority() const noexcept { return minority_; }
+
+  /// Records a minority-side refusal made by an upper layer (mp::Endpoint
+  /// rejecting a fresh send, coll refusing a collective) in this agent's
+  /// counters, so cluster reports aggregate one machine-wide total.
+  void note_minority_refusal() { counters_.inc("conn_minority_refused"); }
+
+  /// Healing reconciliation flush: bumps the incarnation epoch *without* a
+  /// power cycle and fails every existing VI. Frames retransmitted from (or
+  /// addressed to) the pre-heal incarnation become identifiably stale, and
+  /// every channel that operated on the partitioned view error-completes so
+  /// applications re-establish on the merged view.
+  void partition_flush();
+
+  /// Membership news says `peer` is now at incarnation `epoch`: fast-fail
+  /// the VIs still bound to an older incarnation of it — their sequence
+  /// space and retransmit state are meaningless to the new one.
+  void peer_reincarnated(net::NodeId peer, std::uint32_t epoch);
+
+  /// Observer invoked on every carrier change of an attached adapter
+  /// (after the failed-direction mask updates). The membership layer uses
+  /// carrier restoration on a cut cable as the heal trigger.
+  using LinkObserver = std::function<void(topo::Dir, bool)>;
+  void set_link_observer(LinkObserver fn) { link_observer_ = std::move(fn); }
+
   /// Installs a per-destination first-hop table (dir index per rank, -1 =
   /// unreachable) that overrides per-frame SDF while set. Used for
   /// degraded-mode routing around confirmed-dead nodes; cleared when the
@@ -214,9 +245,11 @@ class KernelAgent final : public hw::NicDriver {
   std::vector<std::pair<const hw::Nic*, int>> dir_of_nic_;
   topo::DirMask failed_dirs_ = 0;
   bool powered_ = true;
+  bool minority_ = false;  ///< on a minority partition; dials fail fast
   std::uint32_t epoch_ = 0;
   std::vector<std::int8_t> route_table_;  ///< first-hop dir per rank, -1 dead
   ControlHandler control_handler_;
+  LinkObserver link_observer_;
   std::vector<std::unique_ptr<Vi>> vis_;
   chk::FlatMap<std::uint32_t, std::unique_ptr<sim::Queue<Vi*>>>
       accept_queues_;  // keyed by service; iterated at power_fail

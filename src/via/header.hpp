@@ -19,6 +19,7 @@ enum class MsgKind : std::uint8_t {
   // Node-failure lifecycle (cluster::ClusterLifecycle control plane):
   kHeartbeat,   ///< neighbour liveness probe (unreliable, fire-and-forget)
   kMembership,  ///< membership-delta flood record batch
+  kReconcile,   ///< post-heal reconciliation wave (generation in immediate)
 };
 
 struct ViaHeader {

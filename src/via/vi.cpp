@@ -13,6 +13,8 @@ const char* to_string(ViError e) noexcept {
       return "none";
     case ViError::kUnreachable:
       return "unreachable";
+    case ViError::kMinorityPartition:
+      return "minority-partition";
   }
   return "?";
 }

@@ -33,6 +33,7 @@ class KernelAgent;
 enum class ViError : std::uint8_t {
   kNone = 0,
   kUnreachable = 1,  ///< retry budget exhausted; peer presumed unreachable
+  kMinorityPartition = 2,  ///< refused: this node is on a minority partition
 };
 
 [[nodiscard]] const char* to_string(ViError e) noexcept;
