@@ -37,6 +37,9 @@ BenchReport::BenchReport(std::string name)
   // charged_bytes the report publishes are this bench's alone and the
   // baselines pin the exact modeled-copy count of each figure.
   buf::reset_copy_stats();
+  // Host-side engine telemetry (events dispatched, queue depth) restarts so
+  // the host.engine.* metrics the report publishes cover this bench alone.
+  sim::reset_engine_host_stats();
   obs::trace_init_from_env();
 }
 
@@ -78,6 +81,23 @@ BenchReport::~BenchReport() {
   copy_counters.inc("charged_bytes", static_cast<std::int64_t>(cs.bytes));
   const auto copy_reg =
       obs::Registry::instance().attach("buf.copy", &copy_counters);
+  // Host-side engine throughput rides along under the "host." prefix, which
+  // tools/bench_diff.py treats as informational (host time is machine-
+  // dependent; everything else in this report is gated byte-exact).
+  const sim::EngineHostStats es = sim::engine_host_stats();
+  const double secs = host_seconds();
+  obs::Counters host_counters;
+  host_counters.inc("events_dispatched",
+                    static_cast<std::int64_t>(es.events_dispatched));
+  host_counters.inc("queue_depth_hwm",
+                    static_cast<std::int64_t>(es.queue_depth_hwm));
+  host_counters.inc(
+      "events_per_sec",
+      secs > 0 ? static_cast<std::int64_t>(
+                     static_cast<double>(es.events_dispatched) / secs)
+               : 0);
+  const auto host_reg =
+      obs::Registry::instance().attach("host.engine", &host_counters);
   const std::string metrics = obs::Registry::instance().snapshot().to_json(2);
   std::fprintf(f, "  \"metrics\": %s\n}\n", metrics.c_str());
   std::fclose(f);

@@ -20,7 +20,12 @@ struct GmHeader {
   std::uint32_t frag = 0;
   std::uint32_t nfrags = 1;
   std::uint64_t msg_bytes = 0;
+
+  // Carried per-frame inside Frame::meta — use the pooled meta freelist.
+  MESHMP_POOLED_META()
 };
+
+static_assert(sizeof(GmHeader) <= net::kMetaBlockBytes);
 
 bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
 

@@ -157,13 +157,34 @@ Registry::Registration Registry::attach(std::string group,
 
 void Registry::detach(std::uint64_t id) {
   chk::SimLockGuard g(reg_mu_);
-  auto it = std::find_if(sources_.begin(), sources_.end(),
-                         [id](const Source& s) { return s.id == id; });
-  if (it == sources_.end()) return;
+  // Ids are handed out monotonically and sources_ is append-only between
+  // erases, so it stays sorted by id: binary search instead of a scan.
+  // Teardown detaches in near-LIFO order, which also keeps the erase cheap.
+  auto it = std::lower_bound(
+      sources_.begin(), sources_.end(), id,
+      [](const Source& s, std::uint64_t want) { return s.id < want; });
+  if (it == sources_.end() || it->id != id || it->counters == nullptr) return;
+  // Reuse one buffer for the "<group>.<key>" names: cluster teardown folds
+  // thousands of sources, and a fresh string per key made detach a visible
+  // slice of bench teardown time.
+  std::string name;
   for (const auto& [key, value] : it->counters->items()) {
-    retired_.inc(it->group + "." + key, value);
+    name.assign(it->group);
+    name += '.';
+    name += key;
+    retired_.inc(name, value);
   }
-  sources_.erase(it);
+  // Tombstone instead of erasing: a 256-node cluster detaches thousands of
+  // sources in non-LIFO order, and erasing each one memmoved the whole tail
+  // (quadratic teardown). Compacting once the dead outnumber the live keeps
+  // detach amortized O(log n) and preserves the sorted-by-id order.
+  it->counters = nullptr;
+  ++dead_sources_;
+  if (dead_sources_ * 2 > sources_.size()) {
+    std::erase_if(sources_,
+                  [](const Source& s) { return s.counters == nullptr; });
+    dead_sources_ = 0;
+  }
 }
 
 Histogram& Registry::histogram(const std::string& name) {
@@ -186,9 +207,14 @@ Snapshot Registry::snapshot_live() const {
 
 Snapshot Registry::snapshot_impl(bool include_retired) const {
   Counters total;
+  std::string name;  // reused "<group>.<key>" buffer, as in detach()
   for (const Source& s : sources_) {
+    if (s.counters == nullptr) continue;  // tombstoned (detached)
     for (const auto& [key, value] : s.counters->items()) {
-      total.inc(s.group + "." + key, value);
+      name.assign(s.group);
+      name += '.';
+      name += key;
+      total.inc(name, value);
     }
   }
   if (include_retired) {

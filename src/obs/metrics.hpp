@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -35,18 +36,21 @@ namespace meshmp::obs {
 
 /// Monotone counters keyed by short names. Sorted flat map: keys are kept
 /// ordered, so inc/get are binary searches and items() is deterministic.
+/// Lookups take string_view so the per-frame hot incs (NIC rx/tx, router)
+/// never construct a std::string — keys longer than the SSO buffer would
+/// otherwise cost a heap allocation per increment.
 class Counters {
  public:
-  void inc(const std::string& key, std::int64_t by = 1) {
+  void inc(std::string_view key, std::int64_t by = 1) {
     auto it = lower_bound(key);
     if (it != items_.end() && it->first == key) {
       it->second += by;
       return;
     }
-    items_.emplace(it, key, by);
+    items_.emplace(it, std::string(key), by);
   }
 
-  [[nodiscard]] std::int64_t get(const std::string& key) const {
+  [[nodiscard]] std::int64_t get(std::string_view key) const {
     auto it = lower_bound(key);
     return it != items_.end() && it->first == key ? it->second : 0;
   }
@@ -61,16 +65,15 @@ class Counters {
   using Item = std::pair<std::string, std::int64_t>;
 
   [[nodiscard]] std::vector<Item>::const_iterator lower_bound(
-      const std::string& key) const {
+      std::string_view key) const {
     return std::lower_bound(
         items_.begin(), items_.end(), key,
-        [](const Item& a, const std::string& k) { return a.first < k; });
+        [](const Item& a, std::string_view k) { return a.first < k; });
   }
-  [[nodiscard]] std::vector<Item>::iterator lower_bound(
-      const std::string& key) {
+  [[nodiscard]] std::vector<Item>::iterator lower_bound(std::string_view key) {
     return std::lower_bound(
         items_.begin(), items_.end(), key,
-        [](const Item& a, const std::string& k) { return a.first < k; });
+        [](const Item& a, std::string_view k) { return a.first < k; });
   }
 
   std::vector<Item> items_;
@@ -210,7 +213,7 @@ class Registry {
   struct Source {
     std::uint64_t id = 0;
     std::string group;
-    const Counters* counters = nullptr;
+    const Counters* counters = nullptr;  ///< null = tombstoned (detached)
   };
 
   Registry() = default;
@@ -221,6 +224,7 @@ class Registry {
   mutable chk::SimLock reg_mu_;
   std::uint64_t next_id_ MESHMP_GUARDED_BY(reg_mu_) = 1;
   std::vector<Source> sources_ MESHMP_GUARDED_BY(reg_mu_);
+  std::size_t dead_sources_ MESHMP_GUARDED_BY(reg_mu_) = 0;
   Counters retired_ MESHMP_GUARDED_BY(reg_mu_);  // keyed "<group>.<key>"
   std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> hists_
       MESHMP_GUARDED_BY(reg_mu_);

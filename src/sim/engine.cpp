@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <atomic>
 #include <cassert>
 #include <stdexcept>
 #include <string>
@@ -10,31 +11,64 @@
 
 namespace meshmp::sim {
 
+namespace {
+
+// Host-side telemetry only — never feeds back into simulated behavior.
+std::atomic<std::uint64_t> g_events_dispatched{0};
+std::atomic<std::uint64_t> g_queue_depth_hwm{0};
+
+void fold_host_stats(std::uint64_t dispatched, std::uint64_t hwm) noexcept {
+  g_events_dispatched.fetch_add(dispatched, std::memory_order_relaxed);
+  std::uint64_t cur = g_queue_depth_hwm.load(std::memory_order_relaxed);
+  while (hwm > cur && !g_queue_depth_hwm.compare_exchange_weak(
+                          cur, hwm, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+EngineHostStats engine_host_stats() noexcept {
+  EngineHostStats s;
+  s.events_dispatched = g_events_dispatched.load(std::memory_order_relaxed);
+  s.queue_depth_hwm = g_queue_depth_hwm.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_engine_host_stats() noexcept {
+  g_events_dispatched.store(0, std::memory_order_relaxed);
+  g_queue_depth_hwm.store(0, std::memory_order_relaxed);
+}
+
 Engine::Engine()
     : audit_reg_(chk::Audit::instance().watch(
           "sim.engine", [this] { audit_queue_drained(); })) {}
 
-void Engine::audit_queue_drained() const {
+Engine::~Engine() { fold_host_stats(executed_, queue_depth_hwm()); }
+
+void Engine::audit_queue_drained() {
   chk::SimLockGuard g(queue_mu_);
-  if (!heap_.empty()) {
+  if (!queue_.empty()) {
     chk::Audit::instance().fail(
-        "sim.engine", std::to_string(heap_.size()) +
+        "sim.engine", std::to_string(queue_.size()) +
                           " event(s) still queued at quiesce (next at t=" +
-                          std::to_string(heap_.top().when) + "ns)");
+                          std::to_string(queue_.peek()->when) + "ns)");
   }
 }
 
-void Engine::schedule(Duration delay, std::function<void()> fn,
-                      const char* label) {
+void Engine::schedule(Duration delay, InlineFn fn, const char* label) {
   if (delay < 0) throw std::invalid_argument("Engine::schedule: negative delay");
   schedule_at(now_ + delay, std::move(fn), label);
 }
 
-void Engine::schedule_at(Time t, std::function<void()> fn,
-                         const char* label) {
+void Engine::schedule_at(Time t, InlineFn fn, const char* label) {
   if (t < now_) throw std::invalid_argument("Engine::schedule_at: time in the past");
   chk::SimLockGuard g(queue_mu_);
-  heap_.push(Event{t, next_seq_++, std::move(fn), label});
+  EventNode* n = arena_.get();
+  n->when = t;
+  n->seq = next_seq_++;
+  n->label = label;
+  n->fn = std::move(fn);
+  queue_.push(n);
 }
 
 void Engine::post(std::coroutine_handle<> h) {
@@ -42,26 +76,39 @@ void Engine::post(std::coroutine_handle<> h) {
   schedule_at(now_, [h] { h.resume(); }, "post");
 }
 
-void Engine::dispatch(Event ev) {
-  if (chk::Audit::enabled() && ev.when < now_) {
+void Engine::release_node(EventNode* n) noexcept {
+  n->fn.reset();
+  chk::SimLockGuard g(queue_mu_);
+  arena_.put(n);
+}
+
+void Engine::dispatch(EventNode* n) {
+  if (chk::Audit::enabled() && n->when < now_) {
     chk::Audit::instance().fail(
         "sim.engine",
-        "time went backwards: dispatching t=" + std::to_string(ev.when) +
+        "time went backwards: dispatching t=" + std::to_string(n->when) +
             "ns at now=" + std::to_string(now_) + "ns");
   }
   if (digest_on_) {
     std::uint64_t h = digest_ == 0 ? chk::kFnvOffset : digest_;
-    h = chk::fnv1a_u64(h, static_cast<std::uint64_t>(ev.when));
-    h = chk::fnv1a_u64(h, ev.seq);
-    digest_ = chk::fnv1a_cstr(h, ev.label);
+    h = chk::fnv1a_u64(h, static_cast<std::uint64_t>(n->when));
+    h = chk::fnv1a_u64(h, n->seq);
+    digest_ = chk::fnv1a_cstr(h, n->label);
   }
-  now_ = ev.when;
+  now_ = n->when;
   ++executed_;
   // Per-dispatch events live in the (default-masked) kSim category: they are
   // the finest-grained view of the run and evict everything else when on.
-  MESHMP_TRACE_INSTANT_ARG(*this, obs::Cat::kSim, obs::kEnginePid, ev.label,
-                           "seq", ev.seq);
-  ev.fn();
+  MESHMP_TRACE_INSTANT_ARG(*this, obs::Cat::kSim, obs::kEnginePid, n->label,
+                           "seq", n->seq);
+  // Recycling is deferred past the body so a throwing event cannot leak its
+  // node; the callable is destroyed after it runs (never while running).
+  struct Recycle {
+    Engine* eng;
+    EventNode* node;
+    ~Recycle() { eng->release_node(node); }
+  } recycle{this, n};
+  n->fn();
 }
 
 // The run loops pop under queue_mu_ but always dispatch outside it: event
@@ -70,41 +117,39 @@ void Engine::dispatch(Event ev) {
 
 void Engine::run() {
   for (;;) {
-    Event ev{};
+    EventNode* n = nullptr;
     {
       chk::SimLockGuard g(queue_mu_);
-      if (heap_.empty()) return;
-      ev = heap_.top();
-      heap_.pop();
+      n = queue_.pop();
     }
-    dispatch(std::move(ev));
+    if (n == nullptr) return;
+    dispatch(n);
   }
 }
 
 bool Engine::run_until(Time t) {
   for (;;) {
-    Event ev{};
+    EventNode* n = nullptr;
     {
       chk::SimLockGuard g(queue_mu_);
-      if (heap_.empty() || heap_.top().when > t) break;
-      ev = heap_.top();
-      heap_.pop();
+      EventNode* head = queue_.peek();
+      if (head == nullptr || head->when > t) break;
+      n = queue_.pop();
     }
-    dispatch(std::move(ev));
+    dispatch(n);
   }
   now_ = t;
   return pending() != 0;
 }
 
 bool Engine::step() {
-  Event ev{};
+  EventNode* n = nullptr;
   {
     chk::SimLockGuard g(queue_mu_);
-    if (heap_.empty()) return false;
-    ev = heap_.top();
-    heap_.pop();
+    n = queue_.pop();
   }
-  dispatch(std::move(ev));
+  if (n == nullptr) return false;
+  dispatch(n);
   return true;
 }
 

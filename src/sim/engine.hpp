@@ -7,6 +7,13 @@
 // are funnelled through the queue, so two runs of the same program produce
 // identical event orders and identical results.
 //
+// Hot-path shape: events are pooled EventNodes (sim/event_queue.hpp) holding
+// a fixed-capacity sim::InlineFn instead of a heap-allocating std::function,
+// ordered by a calendar/ladder queue instead of a binary heap. Steady-state
+// scheduling performs zero heap allocations and amortized O(1) queue work,
+// while dispatch order (and the determinism digest) is byte-identical to the
+// former std::priority_queue.
+//
 // Concurrency readiness: the event queue is the one structure a future
 // multicore PDES engine shares between producer threads (schedulers) and the
 // dispatch loop, so it is already written in the locked shape — pushes and
@@ -15,20 +22,31 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
 
 #include "chk/audit.hpp"
 #include "chk/thread_annotations.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/inline_fn.hpp"
 #include "sim/time.hpp"
 
 namespace meshmp::sim {
+
+/// Process-wide host-side engine telemetry, accumulated as engines are
+/// destroyed (relaxed atomics; safe under TSan). Deliberately outside the
+/// deterministic state: bench reports publish these under the host.* metric
+/// group, which tools/bench_diff.py treats as informational only.
+struct EngineHostStats {
+  std::uint64_t events_dispatched = 0;
+  std::uint64_t queue_depth_hwm = 0;  ///< max over all engines' high-water marks
+};
+[[nodiscard]] EngineHostStats engine_host_stats() noexcept;
+void reset_engine_host_stats() noexcept;
 
 // meshmp-lint: shared-state
 class Engine {
  public:
   Engine();
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -37,12 +55,11 @@ class Engine {
 
   /// Schedules `fn` to run `delay` nanoseconds from now (delay >= 0).
   /// `label` (a string literal) names the event in the determinism digest.
-  void schedule(Duration delay, std::function<void()> fn,
-                const char* label = "event");
+  /// The capture must fit sim::kInlineFnCapacity — enforced at compile time.
+  void schedule(Duration delay, InlineFn fn, const char* label = "event");
 
   /// Schedules `fn` at absolute time `t` (t >= now()).
-  void schedule_at(Time t, std::function<void()> fn,
-                   const char* label = "event");
+  void schedule_at(Time t, InlineFn fn, const char* label = "event");
 
   /// Schedules resumption of a suspended coroutine at the current time.
   /// All synchronization primitives wake waiters through here, never inline,
@@ -62,7 +79,13 @@ class Engine {
   /// Number of queued events.
   [[nodiscard]] std::size_t pending() const noexcept {
     chk::SimLockGuard g(queue_mu_);
-    return heap_.size();
+    return queue_.size();
+  }
+
+  /// Deepest the queue has been over this engine's lifetime.
+  [[nodiscard]] std::size_t queue_depth_hwm() const noexcept {
+    chk::SimLockGuard g(queue_mu_);
+    return queue_.depth_hwm();
   }
 
   /// Total events executed so far (useful for complexity assertions in tests).
@@ -76,23 +99,14 @@ class Engine {
   [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
 
  private:
-  struct Event {
-    Time when;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    const char* label;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
-
-  void dispatch(Event ev);
+  void dispatch(EventNode* n);
+  /// Destroys the event's callable outside queue_mu_ (captures may release
+  /// pooled buffers, which takes the buf::Pool lock), then recycles the node.
+  void release_node(EventNode* n) noexcept;
   /// Quiesce validator body (a named method so the thread-safety analysis
   /// sees the lock acquisition; lambdas are analyzed without lock context).
-  void audit_queue_drained() const;
+  /// Non-const: peeking the ladder queue may drain a bucket.
+  void audit_queue_drained();
 
   Time now_ = 0;
   std::uint64_t executed_ = 0;
@@ -100,8 +114,8 @@ class Engine {
   std::uint64_t digest_ = 0;
   mutable chk::SimLock queue_mu_;
   std::uint64_t next_seq_ MESHMP_GUARDED_BY(queue_mu_) = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_
-      MESHMP_GUARDED_BY(queue_mu_);
+  EventArena arena_ MESHMP_GUARDED_BY(queue_mu_);
+  LadderQueue queue_ MESHMP_GUARDED_BY(queue_mu_);
   chk::Audit::Registration audit_reg_;
 };
 

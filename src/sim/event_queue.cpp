@@ -1,0 +1,187 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+
+namespace meshmp::sim {
+
+namespace {
+
+/// start + width * count, saturated at the Time maximum. Timestamps are
+/// non-negative (the engine rejects scheduling in the past), so the unsigned
+/// widening below is exact.
+Time bucket_end(Time start, Time width, std::size_t count) {
+  using U = unsigned __int128;
+  const U v = static_cast<U>(static_cast<std::uint64_t>(start)) +
+              static_cast<U>(static_cast<std::uint64_t>(width)) * count;
+  constexpr U kMax = static_cast<U>(std::numeric_limits<Time>::max());
+  return v > kMax ? std::numeric_limits<Time>::max() : static_cast<Time>(v);
+}
+
+}  // namespace
+
+// --- EventArena ------------------------------------------------------------
+
+EventNode* EventArena::get() {
+  if (free_ == nullptr) {
+    auto chunk = std::make_unique<EventNode[]>(kChunkNodes);
+    for (std::size_t i = kChunkNodes; i-- > 0;) {
+      chunk[i].next = free_;
+      free_ = &chunk[i];
+    }
+    chunks_.push_back(std::move(chunk));
+  }
+  EventNode* n = free_;
+  free_ = n->next;
+  n->next = nullptr;
+  return n;
+}
+
+void EventArena::put(EventNode* n) noexcept {
+  assert(!n->fn && "recycling a node with a live callable");
+  n->label = nullptr;
+  n->next = free_;
+  free_ = n;
+}
+
+// --- LadderQueue -----------------------------------------------------------
+
+void LadderQueue::append(Bucket& b, EventNode* n) noexcept {
+  n->next = nullptr;
+  if (b.tail != nullptr) {
+    b.tail->next = n;
+  } else {
+    b.head = n;
+  }
+  b.tail = n;
+}
+
+void LadderQueue::push(EventNode* n) {
+  if (n->when < bottom_end_) {
+    bottom_.push_back(n);
+    std::push_heap(bottom_.begin(), bottom_.end(), FiresLater{});
+    ++size_;
+    if (size_ > hwm_) hwm_ = size_;
+    return;
+  }
+  if (cur_ < kRungs && n->when < horizon_) {
+    // bottom_end_ is always the start boundary of bucket cur_, so
+    // when >= bottom_end_ lands at index >= cur_ (never a drained bucket).
+    // When horizon_ is saturated at the Time maximum, `when < horizon_`
+    // no longer implies the index is in range — those fall to overflow.
+    const auto idx =
+        static_cast<std::size_t>((n->when - rung_start_) / width_);
+    if (idx < kRungs) {
+      append(rungs_[idx], n);
+      occ_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+      ++rung_count_;
+      ++size_;
+      if (size_ > hwm_) hwm_ = size_;
+      return;
+    }
+  }
+  n->next = overflow_;
+  overflow_ = n;
+  ++overflow_count_;
+  ++size_;
+  if (size_ > hwm_) hwm_ = size_;
+}
+
+std::size_t LadderQueue::next_occupied(std::size_t from) const noexcept {
+  std::size_t word = from >> 6;
+  if (word >= kWords) return kRungs;
+  std::uint64_t w = occ_[word] & (~std::uint64_t{0} << (from & 63));
+  for (;;) {
+    if (w != 0) {
+      return (word << 6) + static_cast<std::size_t>(std::countr_zero(w));
+    }
+    if (++word == kWords) return kRungs;
+    w = occ_[word];
+  }
+}
+
+bool LadderQueue::advance() {
+  assert(bottom_.empty());
+  for (;;) {
+    if (rung_count_ > 0) {
+      const std::size_t idx = next_occupied(cur_);
+      assert(idx < kRungs && "occupancy count and bitmap disagree");
+      Bucket b = rungs_[idx];
+      rungs_[idx] = Bucket{};
+      occ_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+      cur_ = idx + 1;
+      bottom_end_ = bucket_end(rung_start_, width_, cur_);
+      for (EventNode* n = b.head; n != nullptr;) {
+        EventNode* next = n->next;
+        n->next = nullptr;
+        bottom_.push_back(n);
+        --rung_count_;
+        n = next;
+      }
+      std::make_heap(bottom_.begin(), bottom_.end(), FiresLater{});
+      return true;
+    }
+    if (overflow_ == nullptr) return false;
+    reseed();
+  }
+}
+
+void LadderQueue::reseed() {
+  Time mn = std::numeric_limits<Time>::max();
+  Time mx = 0;
+  for (EventNode* n = overflow_; n != nullptr; n = n->next) {
+    mn = std::min(mn, n->when);
+    mx = std::max(mx, n->when);
+  }
+  rung_start_ = mn;
+  // Width chosen so the maximum lands in the last bucket:
+  // (mx - mn) / width_ <= kRungs - 1 by construction.
+  width_ = (mx - mn) / static_cast<Time>(kRungs) + 1;
+  horizon_ = bucket_end(rung_start_, width_, kRungs);
+  cur_ = 0;
+  bottom_end_ = rung_start_;
+  EventNode* n = overflow_;
+  overflow_ = nullptr;
+  overflow_count_ = 0;
+  while (n != nullptr) {
+    EventNode* next = n->next;
+    const auto idx =
+        static_cast<std::size_t>((n->when - rung_start_) / width_);
+    append(rungs_[idx], n);
+    occ_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    ++rung_count_;
+    n = next;
+  }
+  ++reseeds_;
+}
+
+EventNode* LadderQueue::peek() {
+  if (bottom_.empty() && !advance()) return nullptr;
+  return bottom_.front();
+}
+
+EventNode* LadderQueue::pop() {
+  if (bottom_.empty() && !advance()) return nullptr;
+  std::pop_heap(bottom_.begin(), bottom_.end(), FiresLater{});
+  EventNode* n = bottom_.back();
+  bottom_.pop_back();
+  --size_;
+  return n;
+}
+
+LadderQueue::Layout LadderQueue::layout() const noexcept {
+  Layout l;
+  l.bottom = bottom_.size();
+  l.rungs = rung_count_;
+  l.overflow = overflow_count_;
+  l.reseeds = reseeds_;
+  l.bottom_end = bottom_end_;
+  l.rung_start = rung_start_;
+  l.width = width_;
+  l.horizon = horizon_;
+  return l;
+}
+
+}  // namespace meshmp::sim

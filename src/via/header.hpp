@@ -5,6 +5,8 @@
 
 #include <cstdint>
 
+#include "net/frame.hpp"
+
 namespace meshmp::via {
 
 enum class MsgKind : std::uint8_t {
@@ -55,6 +57,13 @@ struct ViaHeader {
 
   // -- connection dialogue --
   std::uint32_t service = 0;  ///< listen/accept rendezvous tag
+
+  // Every frame carries one of these inside Frame::meta, so std::any's
+  // internal `new ViaHeader` is a per-frame (and per-frame-copy) heap
+  // allocation — route it through the pooled meta freelist.
+  MESHMP_POOLED_META()
 };
+
+static_assert(sizeof(ViaHeader) <= net::kMetaBlockBytes);
 
 }  // namespace meshmp::via

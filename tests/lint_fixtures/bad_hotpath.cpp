@@ -1,0 +1,49 @@
+// meshmp-lint fixture: H1 (std::function in the scheduling hot path). Not
+// compiled.
+#include <functional>
+
+struct Engine {
+  template <typename F>
+  void schedule(long delay, F fn, const char* label);
+  template <typename F>
+  void schedule_at(long when, F fn, const char* label);
+  void post(void* h);
+};
+
+void bad_same_line(Engine& eng) {
+  eng.schedule(10, std::function<void()>([] {}), "tick");  // LINT-EXPECT[H1]
+}
+
+void bad_built_before(Engine& eng) {
+  std::function<void()> cb = [] {};  // LINT-EXPECT[H1]
+  eng.schedule_at(99, cb, "late");
+}
+
+void bad_after_post(Engine& eng, void* h) {
+  eng.post(h);
+  std::function<void()> retry = [] {};  // LINT-EXPECT[H1]
+  eng.schedule(5, retry, "retry");
+}
+
+// A std::function far from any scheduling call is a legitimate long-lived
+// sink (link delivery hooks, error handlers) and must stay silent.
+struct Sink {
+  std::function<void(int)> on_frame_;
+  void set_sink(std::function<void(int)> s) { on_frame_ = std::move(s); }
+};
+
+void legal_far_from_schedule(Sink& s) {
+  s.set_sink([](int) {});
+}
+
+void legal_block_boundary(Engine& eng, Sink& s) {
+  eng.schedule(1, [] {}, "ok");
+
+  s.on_frame_ = std::function<void(int)>([](int) {});
+}
+
+// meshmp-lint: std-function-ok(diagnostic shim, not on the per-event path)
+void suppressed_case(Engine& eng) {
+  std::function<void()> hook = [] {};
+  eng.schedule(1, hook, "hook");
+}

@@ -13,6 +13,13 @@ allowed (listed as NEW, not fatal): a PR that adds a counter or histogram
 shouldn't spuriously break the gate. Removed keys and value drift on shared
 keys stay fatal either way; result rows are always compared exactly.
 
+Metric groups under the "host." prefix (counters.host.*, histograms.host.*)
+are host-time-derived telemetry — events/sec, queue depth high-water marks —
+published by BenchReport alongside the modeled numbers. They are
+machine-dependent by construction, so the gate treats them as informational
+in both directions: never a byte-identity failure, whether they drift, appear
+or disappear.
+
 Usage:
   tools/bench_diff.py --baseline-dir bench/baselines --fresh-dir . \
       [--host-ratio 25.0] [--additive-metrics] [--write-report diff_report.txt]
@@ -59,12 +66,20 @@ def diff_rows(base_rows, fresh_rows):
     return bad
 
 
+def is_host_metric(key):
+    """True for host-time-derived leaves: informational, never gated."""
+    return key.startswith("counters.host.") or key.startswith("histograms.host.")
+
+
 def diff_metrics(base, fresh, additive=False):
-    """Returns (fatal mismatches, fresh-only keys tolerated by additive mode)."""
-    bad, new = [], []
+    """Returns (fatal mismatches, additive-tolerated keys, host-info keys)."""
+    bad, new, host = [], [], []
     bleaves = dict(flatten_metrics(base))
     fleaves = dict(flatten_metrics(fresh))
     for k in sorted(set(bleaves) | set(fleaves)):
+        if is_host_metric(k):
+            host.append(k)
+            continue
         if additive and k not in bleaves:
             new.append(k)
             continue
@@ -72,7 +87,7 @@ def diff_metrics(base, fresh, additive=False):
         fv = fleaves.get(k, "<missing>")
         if bv != fv:
             bad.append((f"metrics.{k}", bv, fv))
-    return bad, new
+    return bad, new, host
 
 
 def fmt_table(title, mismatches, limit=20):
@@ -90,7 +105,7 @@ def check_bench(name, base_path, fresh_path, host_ratio, additive, report):
     base = load(base_path)
     fresh = load(fresh_path)
     mism = diff_rows(base.get("rows", []), fresh.get("rows", []))
-    metric_mism, new_keys = diff_metrics(
+    metric_mism, new_keys, host_keys = diff_metrics(
         base.get("metrics", {}), fresh.get("metrics", {}), additive)
     mism += metric_mism
 
@@ -104,9 +119,16 @@ def check_bench(name, base_path, fresh_path, host_ratio, additive, report):
     if mism:
         report.append(fmt_table(f"FAIL {name}: {len(mism)} mismatched value(s)", mism))
         return False
+    gated = [k for k, _ in flatten_metrics(base.get("metrics", {}))
+             if not is_host_metric(k)]
     report.append(f"PASS {name}: {len(base.get('rows', []))} rows exact, "
-                  f"{len(flatten_metrics(base.get('metrics', {})))} metric leaves exact"
-                  f"{host_note}")
+                  f"{len(gated)} metric leaves exact{host_note}")
+    if host_keys:
+        fleaves = dict(flatten_metrics(fresh.get("metrics", {})))
+        shown = [k for k in host_keys if k in fleaves]
+        vals = ", ".join(f"{k.split('.', 1)[1]}={fleaves[k]}" for k in shown[:4])
+        report.append(f"  HOST {name}: {len(host_keys)} host metric leaf(s), "
+                      f"informational only ({vals})")
     if new_keys:
         report.append(f"  NEW  {name}: {len(new_keys)} metric leaf(s) not in the "
                       "baseline (allowed by --additive-metrics; re-record to adopt):")

@@ -33,6 +33,17 @@ Concurrency readiness
       it declares must be MESHMP_GUARDED_BY one, or carry
       // meshmp-lint: unshared(<reason>).
 
+Hot path
+  H1  no std::function in the event-scheduling hot path: anywhere under
+      src/sim/ (the engine core schedules millions of events; std::function
+      heap-allocates once a capture outgrows its SSO buffer — use
+      sim::InlineFn), and in any statement block that calls schedule() /
+      schedule_at() / post() elsewhere under src/ (a std::function built
+      just to be scheduled reintroduces the per-event allocation the
+      InlineFn refactor removed). Long-lived callback sinks (link/NIC
+      delivery hooks, error handlers) away from scheduling calls are fine.
+      Suppress: // meshmp-lint: std-function-ok(<reason>)
+
 Engines: with python clang bindings and a compile_commands.json the D-rules
 run on the AST (macro- and comment-proof); otherwise a conservative text
 engine covers everything. C1/R3 are comment-scoped by design and always run
@@ -57,7 +68,8 @@ WINDOW = 12  # max lines a charge/annotation covers within a contiguous block
 
 SUPPRESS_RE = re.compile(
     r"meshmp-lint:\s*"
-    r"(host-copy|charged-copy|unordered-ok|ptr-key-ok|host-time|unshared)"
+    r"(host-copy|charged-copy|unordered-ok|ptr-key-ok|host-time|unshared"
+    r"|std-function-ok)"
     r"\s*\(")
 MARKER_SHARED_RE = re.compile(r"meshmp-lint:\s*shared-state\b")
 COMMENT_RE = re.compile(r"//.*$")
@@ -74,6 +86,9 @@ PTRKEY_RE = re.compile(
     r"\b(?:chk::)?(?:FlatMap|FlatSet)<\s*[^,<>]*\*\s*[,>]"
     r"|\bstd::(?:map|set|multimap|multiset)<\s*[^,<>]*\*\s*[,>]")
 COPY_RE = re.compile(r"\b(?:std::)?memcpy\s*\(|\bstd::copy\s*\(")
+STD_FUNCTION_RE = re.compile(r"\bstd::function\s*<")
+SCHEDULE_CALL_RE = re.compile(
+    r"(?:\bschedule(?:_at)?|(?<![\w.])post|[.>]post)\s*\(")
 CHARGE_RE = re.compile(r"\bcharge_copy\s*(?:<[^>]*>)?\(")
 CONTAINER_MEMBER_RE = re.compile(
     r"\b(?:std::(?:vector|map|set|deque|array|priority_queue|queue)"
@@ -167,6 +182,50 @@ def check_determinism_text(path, lines):
                 "D3", path, i + 1,
                 "pointer-keyed associative container: address order is not "
                 "stable across runs (or annotate ptr-key-ok)", raw))
+    return out
+
+
+def block_has_near(lines, idx, pattern):
+    """True when `pattern` matches in code within the same contiguous
+    (blank-line-free) block as line idx, scanning both directions up to
+    WINDOW lines: a scheduled callable can be built before the call or span
+    lines inside it."""
+    if block_has(lines, idx, pattern, comment_ok=False):
+        return True
+    for j in range(idx + 1, min(len(lines), idx + WINDOW + 1)):
+        if not lines[j].strip():
+            return False
+        if pattern.search(strip_comment(lines[j])):
+            return True
+    return False
+
+
+def in_sim_core(path):
+    parts = os.path.normpath(path).split(os.sep)
+    return "sim" in parts
+
+
+def check_hot_path(path, lines):
+    out = []
+    for i, raw in enumerate(lines):
+        code = strip_comment(raw)
+        if not STD_FUNCTION_RE.search(code):
+            continue
+        if suppressed(lines, i, ("std-function-ok",)):
+            continue
+        if in_sim_core(path):
+            out.append(Finding(
+                "H1", path, i + 1,
+                "std::function in the engine core (src/sim/): the event hot "
+                "path must use sim::InlineFn — std::function heap-allocates "
+                "past its SSO buffer (or annotate std-function-ok)", raw))
+        elif block_has_near(lines, i, SCHEDULE_CALL_RE):
+            out.append(Finding(
+                "H1", path, i + 1,
+                "std::function in a schedule()/schedule_at()/post() call "
+                "path: scheduled callables must be sim::InlineFn-sized — "
+                "use a small struct or captureless lambda (or annotate "
+                "std-function-ok)", raw))
     return out
 
 
@@ -418,6 +477,7 @@ def main(argv=None):
             findings.extend(check_determinism_text(rel, lines))
         findings.extend(check_copy_accounting(rel, lines))
         findings.extend(check_shared_state(rel, lines))
+        findings.extend(check_hot_path(rel, lines))
 
     entries = load_allowlist(args.allowlist)
     kept, allowed = [], 0
