@@ -8,6 +8,7 @@
 // Expected shape: the kernel version wins by roughly the per-hop user
 // overhead times the tree depth — the paper's stated motivation.
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -23,17 +24,20 @@ struct SumWorld {
   cluster::GigeMeshCluster cluster;
   std::vector<std::unique_ptr<mp::Endpoint>> eps;
   std::vector<std::unique_ptr<qmp::Machine>> machines;
-  int done = 0;
   sim::Time start = 0;
-  sim::Time end = 0;
+  // Per-rank finish slots (max after the run); a shared countdown latch
+  // would race across logical processes under the parallel engine.
+  std::vector<sim::Time> finish;
 
   explicit SumWorld(topo::Coord shape)
       : cluster([&] {
           cluster::GigeMeshConfig cfg;
           cfg.shape = shape;
           return cfg;
-        }()) {
+        }()),
+        finish(static_cast<std::size_t>(cluster.size()), 0) {
     for (topo::Rank r = 0; r < cluster.size(); ++r) {
+      sim::LpScope scope(cluster.engine(), cluster.lp_of(r));
       eps.push_back(std::make_unique<mp::Endpoint>(cluster.agent(r),
                                                    mp::CoreParams{}));
       machines.push_back(std::make_unique<qmp::Machine>(*eps.back()));
@@ -43,9 +47,8 @@ struct SumWorld {
 
 double time_global_sum(topo::Coord shape, bool kernel_level) {
   SumWorld w(shape);
-  const int n = static_cast<int>(w.cluster.size());
-  auto prog = [](SumWorld& world, qmp::Machine& m, bool klevel,
-                 int nranks) -> sim::Task<> {
+  auto prog = [](SumWorld& world, qmp::Machine& m,
+                 bool klevel) -> sim::Task<> {
     co_await m.barrier();
     if (m.node_number() == 0) world.start = m.endpoint().engine().now();
     double s = 0;
@@ -55,11 +58,16 @@ double time_global_sum(topo::Coord shape, bool kernel_level) {
       s = co_await m.sum_double(1.0);
     }
     (void)s;
-    if (++world.done == nranks) world.end = m.endpoint().engine().now();
+    world.finish[static_cast<std::size_t>(m.node_number())] =
+        m.endpoint().engine().now();
   };
-  for (auto& m : w.machines) prog(w, *m, kernel_level, n).detach();
+  for (topo::Rank r = 0; r < w.cluster.size(); ++r) {
+    sim::LpScope scope(w.cluster.engine(), w.cluster.lp_of(r));
+    prog(w, *w.machines[static_cast<std::size_t>(r)], kernel_level).detach();
+  }
   w.cluster.run();
-  return sim::to_us(w.end - w.start);
+  const sim::Time end = *std::max_element(w.finish.begin(), w.finish.end());
+  return sim::to_us(end - w.start);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "common.hpp"
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <cstdio>
@@ -96,6 +97,14 @@ BenchReport::~BenchReport() {
       secs > 0 ? static_cast<std::int64_t>(
                      static_cast<double>(es.events_dispatched) / secs)
                : 0);
+  // Worker-thread count (MESHMP_THREADS; 0 = legacy single-shard engine) and
+  // the window tallies, so a bench_diff between thread counts shows what
+  // fraction of windows actually fanned out to the team.
+  host_counters.inc("threads",
+                    static_cast<std::int64_t>(sim::threads_from_env()));
+  host_counters.inc("windows", static_cast<std::int64_t>(es.windows));
+  host_counters.inc("parallel_windows",
+                    static_cast<std::int64_t>(es.parallel_windows));
   const auto host_reg =
       obs::Registry::instance().attach("host.engine", &host_counters);
   const std::string metrics = obs::Registry::instance().snapshot().to_json(2);
@@ -188,17 +197,19 @@ double via_aggregate_bw_faulty(int ndims, std::int64_t size,
     }
   }
 
-  int done = 0;
-  sim::Time t_end = 0;
+  // Per-drain finish slots (max taken after the run): the drains live on
+  // different logical processes, so a shared countdown latch would race
+  // under the parallel engine.
+  std::vector<sim::Time> ends(static_cast<std::size_t>(2 * nlinks), 0);
   auto stream = [](via::Vi& vi, std::int64_t sz, int n) -> Task<> {
     for (int i = 0; i < n; ++i) {
       co_await vi.send(payload(static_cast<std::size_t>(sz)));
     }
   };
-  auto drain = [](via::Vi& vi, sim::Engine& eng, int n, int& fin, int total,
+  auto drain = [](via::Vi& vi, sim::Engine& eng, int n,
                   sim::Time& end) -> Task<> {
     for (int i = 0; i < n; ++i) (void)co_await vi.recv_completion();
-    if (++fin == total) end = eng.now();
+    end = eng.now();
   };
   const sim::Time t0 = c.engine().now();
   std::unique_ptr<flt::Injector> inj;
@@ -208,18 +219,26 @@ double via_aggregate_bw_faulty(int ndims, std::int64_t size,
     inj = std::make_unique<flt::Injector>(c, faults);
   }
   for (int i = 0; i < nlinks; ++i) {
-    stream(*conns[static_cast<std::size_t>(i)].mine, size, count_per_link)
-        .detach();
-    stream(*rev[static_cast<std::size_t>(i)].mine, size, count_per_link)
-        .detach();
-    drain(*conns[static_cast<std::size_t>(i)].theirs, c.engine(),
-          count_per_link, done, 2 * nlinks, t_end)
-        .detach();
-    drain(*rev[static_cast<std::size_t>(i)].theirs, c.engine(),
-          count_per_link, done, 2 * nlinks, t_end)
-        .detach();
+    const auto nb = *t.neighbor(center, dirs[static_cast<std::size_t>(i)]);
+    {
+      sim::LpScope sc(c.engine(), c.lp_of(center));
+      stream(*conns[static_cast<std::size_t>(i)].mine, size, count_per_link)
+          .detach();
+      drain(*rev[static_cast<std::size_t>(i)].theirs, c.engine(),
+            count_per_link, ends[static_cast<std::size_t>(nlinks + i)])
+          .detach();
+    }
+    {
+      sim::LpScope sn(c.engine(), c.lp_of(nb));
+      stream(*rev[static_cast<std::size_t>(i)].mine, size, count_per_link)
+          .detach();
+      drain(*conns[static_cast<std::size_t>(i)].theirs, c.engine(),
+            count_per_link, ends[static_cast<std::size_t>(i)])
+          .detach();
+    }
   }
   c.run();
+  const sim::Time t_end = *std::max_element(ends.begin(), ends.end());
   // Aggregated *send* bandwidth of the centre node.
   return sim::rate_mb_per_s(static_cast<std::int64_t>(nlinks) * size *
                                 count_per_link,
@@ -257,24 +276,30 @@ double tcp_rtt2_us(std::int64_t size, int rounds) {
 
 double tcp_simultaneous_bw(std::int64_t size, int count) {
   TcpPair p;
-  int done = 0;
-  sim::Time t_end = 0;
+  sim::Time ends[2] = {0, 0};
   auto stream = [](tcpstack::TcpSocket& s, std::int64_t sz, int n) -> Task<> {
     for (int i = 0; i < n; ++i) {
       co_await s.send(payload(static_cast<std::size_t>(sz)));
     }
   };
   auto drain = [](tcpstack::TcpSocket& s, sim::Engine& eng, std::int64_t sz,
-                  int n, int& fin, sim::Time& end) -> Task<> {
+                  int n, sim::Time& end) -> Task<> {
     (void)co_await s.recv_exact(sz * n);
-    if (++fin == 2) end = eng.now();
+    end = eng.now();
   };
   const sim::Time t0 = p.cluster.engine().now();
-  stream(*p.a, size, count).detach();
-  stream(*p.b, size, count).detach();
-  drain(*p.a, p.cluster.engine(), size, count, done, t_end).detach();
-  drain(*p.b, p.cluster.engine(), size, count, done, t_end).detach();
+  {
+    sim::LpScope s0(p.cluster.engine(), p.cluster.lp_of(0));
+    stream(*p.a, size, count).detach();
+    drain(*p.a, p.cluster.engine(), size, count, ends[0]).detach();
+  }
+  {
+    sim::LpScope s1(p.cluster.engine(), p.cluster.lp_of(1));
+    stream(*p.b, size, count).detach();
+    drain(*p.b, p.cluster.engine(), size, count, ends[1]).detach();
+  }
   p.cluster.run();
+  const sim::Time t_end = std::max(ends[0], ends[1]);
   return sim::rate_mb_per_s(size * count, t_end - t0);
 }
 
@@ -319,33 +344,39 @@ double tcp_aggregate_bw(int ndims, std::int64_t size, int count_per_link) {
   }
   c.run();
 
-  int done = 0;
-  sim::Time t_end = 0;
-  const int total = 2 * nlinks;
+  std::vector<sim::Time> ends(static_cast<std::size_t>(2 * nlinks), 0);
   auto stream = [](tcpstack::TcpSocket& s, std::int64_t sz, int n) -> Task<> {
     for (int i = 0; i < n; ++i) {
       co_await s.send(payload(static_cast<std::size_t>(sz)));
     }
   };
   auto drain = [](tcpstack::TcpSocket& s, sim::Engine& eng, std::int64_t sz,
-                  int n, int& fin, int total_, sim::Time& end) -> Task<> {
+                  int n, sim::Time& end) -> Task<> {
     (void)co_await s.recv_exact(sz * n);
-    if (++fin == total_) end = eng.now();
+    end = eng.now();
   };
   const sim::Time t0 = c.engine().now();
   for (int i = 0; i < nlinks; ++i) {
-    stream(*out[static_cast<std::size_t>(i)].mine, size, count_per_link)
-        .detach();
-    stream(*back[static_cast<std::size_t>(i)].mine, size, count_per_link)
-        .detach();
-    drain(*out[static_cast<std::size_t>(i)].theirs, c.engine(), size,
-          count_per_link, done, total, t_end)
-        .detach();
-    drain(*back[static_cast<std::size_t>(i)].theirs, c.engine(), size,
-          count_per_link, done, total, t_end)
-        .detach();
+    const auto nb = *t.neighbor(center, dirs[static_cast<std::size_t>(i)]);
+    {
+      sim::LpScope sc(c.engine(), c.lp_of(center));
+      stream(*out[static_cast<std::size_t>(i)].mine, size, count_per_link)
+          .detach();
+      drain(*back[static_cast<std::size_t>(i)].theirs, c.engine(), size,
+            count_per_link, ends[static_cast<std::size_t>(nlinks + i)])
+          .detach();
+    }
+    {
+      sim::LpScope sn(c.engine(), c.lp_of(nb));
+      stream(*back[static_cast<std::size_t>(i)].mine, size, count_per_link)
+          .detach();
+      drain(*out[static_cast<std::size_t>(i)].theirs, c.engine(), size,
+            count_per_link, ends[static_cast<std::size_t>(i)])
+          .detach();
+    }
   }
   c.run();
+  const sim::Time t_end = *std::max_element(ends.begin(), ends.end());
   return sim::rate_mb_per_s(static_cast<std::int64_t>(nlinks) * size *
                                 count_per_link,
                             t_end - t0);
@@ -368,6 +399,8 @@ struct EndpointWorld {
           return cfg;
         }()) {
     for (topo::Rank r = 0; r < cluster.size(); ++r) {
+      // Endpoint progress loops belong to their rank's logical process.
+      sim::LpScope scope(cluster.engine(), cluster.lp_of(r));
       eps.push_back(
           std::make_unique<mp::Endpoint>(cluster.agent(r), mp_params));
     }
@@ -459,9 +492,7 @@ double mpiqmp_aggregate_bw(int ndims, std::int64_t size, int count_per_link) {
   const auto dirs = t.directions(t.coord(center));
   const int nlinks = static_cast<int>(dirs.size());
 
-  int done = 0;
-  sim::Time t_end = 0;
-  const int total = 2 * nlinks;
+  std::vector<sim::Time> ends(static_cast<std::size_t>(2 * nlinks), 0);
   auto stream = [](mp::Endpoint& ep, int dst, std::int64_t sz,
                    int n) -> Task<> {
     for (int i = 0; i < n; ++i) {
@@ -469,27 +500,34 @@ double mpiqmp_aggregate_bw(int ndims, std::int64_t size, int count_per_link) {
     }
   };
   auto drain = [](mp::Endpoint& ep, sim::Engine& eng, int src, int n,
-                  int& fin, int total_, sim::Time& end) -> Task<> {
+                  sim::Time& end) -> Task<> {
     for (int i = 0; i < n; ++i) (void)co_await ep.recv(src, 1);
-    if (++fin == total_) end = eng.now();
+    end = eng.now();
   };
   const sim::Time t0 = w.cluster.engine().now();
   for (int i = 0; i < nlinks; ++i) {
     const auto nb = *t.neighbor(center, dirs[static_cast<std::size_t>(i)]);
-    stream(*w.eps[static_cast<std::size_t>(center)], nb, size,
-           count_per_link)
-        .detach();
-    stream(*w.eps[static_cast<std::size_t>(nb)], center, size,
-           count_per_link)
-        .detach();
-    drain(*w.eps[static_cast<std::size_t>(nb)], w.cluster.engine(), center,
-          count_per_link, done, total, t_end)
-        .detach();
-    drain(*w.eps[static_cast<std::size_t>(center)], w.cluster.engine(), nb,
-          count_per_link, done, total, t_end)
-        .detach();
+    {
+      sim::LpScope sc(w.cluster.engine(), w.cluster.lp_of(center));
+      stream(*w.eps[static_cast<std::size_t>(center)], nb, size,
+             count_per_link)
+          .detach();
+      drain(*w.eps[static_cast<std::size_t>(center)], w.cluster.engine(), nb,
+            count_per_link, ends[static_cast<std::size_t>(nlinks + i)])
+          .detach();
+    }
+    {
+      sim::LpScope sn(w.cluster.engine(), w.cluster.lp_of(nb));
+      stream(*w.eps[static_cast<std::size_t>(nb)], center, size,
+             count_per_link)
+          .detach();
+      drain(*w.eps[static_cast<std::size_t>(nb)], w.cluster.engine(), center,
+            count_per_link, ends[static_cast<std::size_t>(i)])
+          .detach();
+    }
   }
   w.cluster.run();
+  const sim::Time t_end = *std::max_element(ends.begin(), ends.end());
   return sim::rate_mb_per_s(static_cast<std::int64_t>(nlinks) * size *
                                 count_per_link,
                             t_end - t0);

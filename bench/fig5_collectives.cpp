@@ -6,6 +6,7 @@
 // 18.5 us point-to-point latency); global sum roughly twice the broadcast
 // (reduce to a node + broadcast back); both growing linearly with size.
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -21,17 +22,22 @@ using namespace benchutil;
 struct CollWorld {
   cluster::GigeMeshCluster cluster;
   std::vector<std::unique_ptr<mp::Endpoint>> eps;
-  int done = 0;
   sim::Time t_start = 0;
-  sim::Time t_end = 0;
+  // Per-rank finish times (max taken after the run): ranks live on distinct
+  // logical processes, so a shared "++done == nranks" latch would race
+  // under the parallel engine.
+  std::vector<sim::Time> finish;
 
   explicit CollWorld(topo::Coord shape)
       : cluster([&] {
           cluster::GigeMeshConfig cfg;
           cfg.shape = shape;
           return cfg;
-        }()) {
+        }()),
+        finish(static_cast<std::size_t>(cluster.size()), 0) {
     for (topo::Rank r = 0; r < cluster.size(); ++r) {
+      // Endpoint progress loops belong to their rank's logical process.
+      sim::LpScope scope(cluster.engine(), cluster.lp_of(r));
       eps.push_back(std::make_unique<mp::Endpoint>(cluster.agent(r),
                                                    mp::CoreParams{}));
     }
@@ -42,13 +48,12 @@ enum class Op { kBcast, kGlobalSum };
 
 double run_collective(Op op, std::int64_t bytes) {
   CollWorld w(topo::Coord{4, 8, 8});
-  const int n = static_cast<int>(w.cluster.size());
   // Warm up (dials every channel), then have all ranks enter the measured
   // operation at the same instant — the simulator's zero-skew barrier, which
   // isolates the operation's true latency the way the paper plots it.
   constexpr sim::Time kGo = 500_ms;
   auto node = [](CollWorld& world, mp::Endpoint& ep, Op op_,
-                 std::int64_t sz, int nranks) -> Task<> {
+                 std::int64_t sz) -> Task<> {
     std::vector<std::byte> warm(8, std::byte{0x22});
     co_await coll::broadcast(ep, 0, warm, (1 << 23) | 100);
     co_await sim::delay(ep.engine(), kGo - ep.engine().now());
@@ -61,11 +66,15 @@ double run_collective(Op op, std::int64_t bytes) {
       co_await coll::allreduce(ep, data, coll::sum_op<double>(),
                                (1 << 23) | 300);
     }
-    if (++world.done == nranks) world.t_end = ep.engine().now();
+    world.finish[static_cast<std::size_t>(ep.rank())] = ep.engine().now();
   };
-  for (auto& ep : w.eps) node(w, *ep, op, bytes, n).detach();
+  for (topo::Rank r = 0; r < w.cluster.size(); ++r) {
+    sim::LpScope scope(w.cluster.engine(), w.cluster.lp_of(r));
+    node(w, *w.eps[static_cast<std::size_t>(r)], op, bytes).detach();
+  }
   w.cluster.run();
-  return sim::to_us(w.t_end - w.t_start);
+  const sim::Time t_end = *std::max_element(w.finish.begin(), w.finish.end());
+  return sim::to_us(t_end - w.t_start);
 }
 
 }  // namespace

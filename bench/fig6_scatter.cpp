@@ -7,6 +7,7 @@
 // 4x8x8 except at the largest sizes (six simultaneous sends from the root
 // become hard).
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -22,17 +23,20 @@ using namespace benchutil;
 struct ScatterWorld {
   cluster::GigeMeshCluster cluster;
   std::vector<std::unique_ptr<mp::Endpoint>> eps;
-  int done = 0;
   sim::Time t_start = 0;
-  sim::Time t_end = 0;
+  // Per-rank finish slots (max after the run); a shared countdown latch
+  // would race across logical processes under the parallel engine.
+  std::vector<sim::Time> finish;
 
   explicit ScatterWorld(topo::Coord shape)
       : cluster([&] {
           cluster::GigeMeshConfig cfg;
           cfg.shape = shape;
           return cfg;
-        }()) {
+        }()),
+        finish(static_cast<std::size_t>(cluster.size()), 0) {
     for (topo::Rank r = 0; r < cluster.size(); ++r) {
+      sim::LpScope scope(cluster.engine(), cluster.lp_of(r));
       eps.push_back(std::make_unique<mp::Endpoint>(cluster.agent(r),
                                                    mp::CoreParams{}));
     }
@@ -56,11 +60,15 @@ double run_scatter(topo::Coord shape, coll::ScatterAlg alg,
     } else {
       mine = co_await coll::scatter(ep, 0, nullptr, (1 << 23) | 400, a);
     }
-    if (++world.done == nranks) world.t_end = ep.engine().now();
+    world.finish[static_cast<std::size_t>(ep.rank())] = ep.engine().now();
   };
-  for (auto& ep : w.eps) node(w, *ep, alg, bytes, n).detach();
+  for (topo::Rank r = 0; r < w.cluster.size(); ++r) {
+    sim::LpScope scope(w.cluster.engine(), w.cluster.lp_of(r));
+    node(w, *w.eps[static_cast<std::size_t>(r)], alg, bytes, n).detach();
+  }
   w.cluster.run();
-  return sim::to_us(w.t_end - w.t_start);
+  const sim::Time t_end = *std::max_element(w.finish.begin(), w.finish.end());
+  return sim::to_us(t_end - w.t_start);
 }
 
 }  // namespace

@@ -50,6 +50,9 @@ std::vector<std::byte> pack_row(Tile& t, int y) {
 }
 
 Task<> node_main(qmp::Machine& m, double& final_heat, int& done) {
+  // `done` is this rank's own slot (summed by main after the run); ranks
+  // live on distinct logical processes, so a shared counter would race
+  // under the parallel engine.
   Tile t;
   // Initial condition: a hot spot on rank 0 only.
   if (m.node_number() == 0) t.at(kTile / 2, kTile / 2) = 1000.0;
@@ -119,7 +122,7 @@ Task<> node_main(qmp::Machine& m, double& final_heat, int& done) {
   }
   const double total = co_await m.sum_double(local);
   if (m.node_number() == 0) final_heat = total;
-  ++done;
+  done = 1;
 }
 
 }  // namespace
@@ -132,16 +135,24 @@ int main() {
   std::vector<std::unique_ptr<mp::Endpoint>> eps;
   std::vector<std::unique_ptr<qmp::Machine>> machines;
   for (topo::Rank r = 0; r < cluster.size(); ++r) {
+    sim::LpScope scope(cluster.engine(), cluster.lp_of(r));
     eps.push_back(
         std::make_unique<mp::Endpoint>(cluster.agent(r), mp::CoreParams{}));
     machines.push_back(std::make_unique<qmp::Machine>(*eps.back()));
   }
 
   double final_heat = 0;
-  int done = 0;
-  for (auto& m : machines) node_main(*m, final_heat, done).detach();
+  std::vector<int> done_slots(static_cast<std::size_t>(cluster.size()), 0);
+  for (topo::Rank r = 0; r < cluster.size(); ++r) {
+    sim::LpScope scope(cluster.engine(), cluster.lp_of(r));
+    node_main(*machines[static_cast<std::size_t>(r)], final_heat,
+              done_slots[static_cast<std::size_t>(r)])
+        .detach();
+  }
   cluster.run();
 
+  int done = 0;
+  for (int f : done_slots) done += f;
   std::printf("ranks finished: %d/16\n", done);
   std::printf("total heat after %d iterations: %.6f (injected 1000)\n",
               kIters, final_heat);

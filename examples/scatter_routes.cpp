@@ -3,6 +3,7 @@
 // the measured dispatch times and the root-link utilization that explains
 // OPT's advantage.
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -24,15 +25,16 @@ double run_scatter(coll::ScatterAlg alg, std::int64_t bytes) {
   cluster::GigeMeshCluster cluster(cfg);
   std::vector<std::unique_ptr<mp::Endpoint>> eps;
   for (topo::Rank r = 0; r < cluster.size(); ++r) {
+    sim::LpScope scope(cluster.engine(), cluster.lp_of(r));
     eps.push_back(
         std::make_unique<mp::Endpoint>(cluster.agent(r), mp::CoreParams{}));
   }
-  int done = 0;
   sim::Time t0 = 0;
-  sim::Time t1 = 0;
+  // Per-rank finish slots (max after the run); a shared countdown latch
+  // would race across logical processes under the parallel engine.
+  std::vector<sim::Time> ends(static_cast<std::size_t>(cluster.size()), 0);
   auto node = [](mp::Endpoint& ep, coll::ScatterAlg a, std::int64_t sz,
-                 int nranks, int& fin, sim::Time& start,
-                 sim::Time& end) -> Task<> {
+                 int nranks, sim::Time& start, sim::Time& end) -> Task<> {
     co_await coll::barrier(ep, (1 << 23) | 7);
     if (ep.rank() == 0) start = ep.engine().now();
     if (ep.rank() == 0) {
@@ -44,13 +46,17 @@ double run_scatter(coll::ScatterAlg alg, std::int64_t bytes) {
     } else {
       (void)co_await coll::scatter(ep, 0, nullptr, (1 << 23) | 9, a);
     }
-    if (++fin == nranks) end = ep.engine().now();
+    end = ep.engine().now();
   };
-  for (auto& ep : eps) {
-    node(*ep, alg, bytes, static_cast<int>(cluster.size()), done, t0, t1)
+  for (topo::Rank r = 0; r < cluster.size(); ++r) {
+    sim::LpScope scope(cluster.engine(), cluster.lp_of(r));
+    node(*eps[static_cast<std::size_t>(r)], alg, bytes,
+         static_cast<int>(cluster.size()), t0,
+         ends[static_cast<std::size_t>(r)])
         .detach();
   }
   cluster.run();
+  const sim::Time t1 = *std::max_element(ends.begin(), ends.end());
   return sim::to_us(t1 - t0);
 }
 

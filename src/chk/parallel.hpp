@@ -1,0 +1,115 @@
+#pragma once
+
+// Parallel-engine support primitives: the one place outside src/sim where raw
+// concurrency machinery is allowed to live (meshmp-lint rule R4 bans
+// std::thread / std::mutex / std::atomic elsewhere — workers belong to the
+// engine, and shared state synchronizes through chk::SimLock or the wrappers
+// below).
+//
+// Design contract with the conservative PDES engine (DESIGN.md section 13):
+//
+//  * mt_active() is a process-wide flag, true exactly while at least one
+//    engine worker team exists. chk::SimLock consults it so the sequential
+//    engine keeps its zero-cost locks while a parallel run pays for real
+//    mutexes. Activation/deactivation only ever happens on the coordinator
+//    thread while no worker is executing a window, so the flag never flips
+//    underneath a held lock.
+//
+//  * worker_index() is -1 on every plain host thread (including the
+//    coordinator) and w >= 1 on engine worker thread w. obs::Histogram uses
+//    it to route adds into per-worker shards that are merged back in a fixed
+//    order at window quiesce, keeping shared interned histograms both
+//    race-free and deterministic.
+//
+//  * SharedCount / SharedCount64 wrap the few cross-LP counters (buf block
+//    refcounts, process-wide copy accounting) whose owners are not tied to a
+//    single logical process. They are sequentially consistent enough for
+//    counting (acq_rel RMW) and read with acquire loads; their values are
+//    functions of the simulated program alone, so they stay deterministic.
+
+#include <atomic>
+#include <cstdint>
+
+namespace meshmp::chk {
+
+namespace detail {
+inline std::atomic<int>& mt_refcount() noexcept {
+  static std::atomic<int> count{0};
+  return count;
+}
+inline int& worker_index_slot() noexcept {
+  thread_local int index = -1;
+  return index;
+}
+}  // namespace detail
+
+/// True while any engine worker team exists; SimLock engages its real mutex.
+[[nodiscard]] inline bool mt_active() noexcept {
+  return detail::mt_refcount().load(std::memory_order_acquire) > 0;
+}
+
+/// RAII refcount on the mt_active() flag; held by each engine worker team
+/// for its whole lifetime (threads are spawned after construction and joined
+/// before destruction, so locks are real whenever a worker could run).
+class MtActivation {
+ public:
+  MtActivation() noexcept {
+    detail::mt_refcount().fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~MtActivation() {
+    detail::mt_refcount().fetch_sub(1, std::memory_order_acq_rel);
+  }
+  MtActivation(const MtActivation&) = delete;
+  MtActivation& operator=(const MtActivation&) = delete;
+};
+
+/// Index of the current engine worker thread (>= 1), or -1 on plain host
+/// threads and the coordinator. Set once at worker-thread start.
+[[nodiscard]] inline int worker_index() noexcept {
+  return detail::worker_index_slot();
+}
+inline void set_worker_index(int index) noexcept {
+  detail::worker_index_slot() = index;
+}
+
+/// Atomic counter for the few shared tallies mutated from multiple logical
+/// processes (buf refcounts, copy accounting). Deterministic because every
+/// increment is driven by the simulated program; atomicity only protects the
+/// read-modify-write, never an ordering decision.
+template <typename T>
+class Shared {
+ public:
+  Shared() noexcept = default;
+  explicit Shared(T v) noexcept : v_(v) {}
+  Shared(const Shared&) = delete;
+  Shared& operator=(const Shared&) = delete;
+
+  [[nodiscard]] T load() const noexcept {
+    return v_.load(std::memory_order_acquire);
+  }
+  void store(T v) noexcept { v_.store(v, std::memory_order_release); }
+  /// Returns the value *after* the addition (the common refcount shape).
+  T add(T by) noexcept {
+    return v_.fetch_add(by, std::memory_order_acq_rel) + by;
+  }
+  /// Returns the value *after* the subtraction.
+  T sub(T by) noexcept {
+    return v_.fetch_sub(by, std::memory_order_acq_rel) - by;
+  }
+  /// Monotone max (host-telemetry high-water marks).
+  void fold_max(T candidate) noexcept {
+    T cur = v_.load(std::memory_order_relaxed);
+    while (candidate > cur &&
+           !v_.compare_exchange_weak(cur, candidate,
+                                     std::memory_order_acq_rel)) {
+    }
+  }
+
+ private:
+  std::atomic<T> v_{0};
+};
+
+using SharedCount = Shared<std::uint32_t>;
+using SharedCount64 = Shared<std::uint64_t>;
+
+}  // namespace meshmp::chk

@@ -12,11 +12,16 @@
 // MESHMP_THREAD_SAFETY) then checks the discipline statically on every
 // build; under GCC the annotations compile to nothing.
 //
-// SimLock itself is a no-op capability: lock()/unlock() are empty inline
-// functions the optimizer deletes, so the sequential engine pays nothing.
-// When worker threads land, SimLock grows a real mutex behind a build flag
-// and the already-annotated, already-checked acquire points become real
-// synchronization — no re-audit of the call graph required.
+// SimLock is a conditional mutex: while the process is single-threaded
+// (chk::mt_active() false — no engine worker team exists) lock()/unlock()
+// are a relaxed flag check the optimizer keeps out of the hot path, so the
+// sequential engine pays almost nothing. The moment a parallel engine spawns
+// its worker team the same annotated, already-checked acquire points become
+// real std::mutex synchronization — no re-audit of the call graph required.
+
+#include <mutex>
+
+#include "chk/parallel.hpp"
 
 #if defined(__clang__)
 #define MESHMP_THREAD_ANNOTATION_(x) __attribute__((x))
@@ -55,19 +60,46 @@
 
 namespace meshmp::chk {
 
-/// The capability the sequential engine's shared-state hot spots annotate
-/// against. Lock operations are empty today (the event loop is the only
-/// thread); the PDES build replaces the body with a real mutex without
-/// touching any annotated call site.
+/// The capability the engine's shared-state hot spots annotate against.
+/// Lock operations are a no-op while the process is single-threaded and a
+/// real std::mutex while an engine worker team exists (chk::mt_active()).
+///
+/// The engaged_ flag records whether this *acquisition* took the mutex, so
+/// an activation flip between lock() and unlock() can never unbalance the
+/// mutex. The flip itself only happens on the coordinator thread while no
+/// worker is executing (team spawn/join), so skipped locks are never
+/// actually contended. engaged_ is written only by the current holder:
+/// under the mutex when it was taken, and in a single-threaded regime when
+/// it was skipped.
 class MESHMP_CAPABILITY("mutex") SimLock {
  public:
   SimLock() noexcept = default;
   SimLock(const SimLock&) = delete;
   SimLock& operator=(const SimLock&) = delete;
 
-  void lock() noexcept MESHMP_ACQUIRE() {}
-  void unlock() noexcept MESHMP_RELEASE() {}
-  bool try_lock() noexcept MESHMP_TRY_ACQUIRE(true) { return true; }
+  void lock() noexcept MESHMP_ACQUIRE() {
+    if (mt_active()) {
+      mu_.lock();
+      engaged_ = true;
+    }
+  }
+  void unlock() noexcept MESHMP_RELEASE() {
+    if (engaged_) {
+      engaged_ = false;
+      mu_.unlock();
+    }
+  }
+  bool try_lock() noexcept MESHMP_TRY_ACQUIRE(true) {
+    if (mt_active()) {
+      if (!mu_.try_lock()) return false;
+      engaged_ = true;
+    }
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+  bool engaged_ = false;
 };
 
 /// RAII guard for SimLock; the annotated analogue of std::lock_guard.

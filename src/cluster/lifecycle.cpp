@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "buf/pool.hpp"
+#include "sim/lp.hpp"
 #include "sim/sync.hpp"
 #include "via/header.hpp"
 
@@ -68,6 +69,9 @@ void ClusterLifecycle::start() {
   cluster_.set_crash_hooks([this](topo::Rank r) { on_crash(r); },
                            [this](topo::Rank r) { on_restart(r); });
   for (topo::Rank r = 0; r < cluster_.size(); ++r) {
+    // Detector loops belong to their node's logical process: their timers and
+    // sends must shard with the node, not pile onto the control LP.
+    sim::LpScope scope(cluster_.engine(), cluster_.lp_of(r));
     heartbeat_loop(r, ctl_[idx(r)].gen).detach();
     monitor_loop(r, ctl_[idx(r)].gen).detach();
     accept_loop(r).detach();
@@ -115,6 +119,7 @@ void ClusterLifecycle::on_restart(topo::Rank r) {
   // The silence clocks restart with the node; without this the monitor would
   // re-declare every neighbour dead from pre-crash timestamps.
   ctl_[idx(r)].last_heard.assign(idx(cluster_.size()), now);
+  sim::LpScope scope(cluster_.engine(), cluster_.lp_of(r));
   heartbeat_loop(r, gen).detach();
   monitor_loop(r, gen).detach();
   rejoin(r, gen).detach();
@@ -290,6 +295,7 @@ void ClusterLifecycle::process_record(topo::Rank observer,
     // reach the reconciled side.
     push_view(observer, rec.rank);
   }
+  chk::SimLockGuard g(shared_mu_);
   if (heal_start_ >= 0 && heal_pending_[idx(observer)] &&
       view.count(Liveness::kDead) == 0) {
     heal_pending_[idx(observer)] = false;
@@ -323,10 +329,14 @@ void ClusterLifecycle::update_quorum(topo::Rank r) {
   if (s == QuorumSide::kMinority) {
     minority_since_[idx(r)] = now;
     ag.set_minority(true);
+    chk::SimLockGuard g(shared_mu_);
     counters_.inc("minority_transitions");
   } else {
     ag.set_minority(false);
-    counters_.inc("primary_restorations");
+    {
+      chk::SimLockGuard g(shared_mu_);
+      counters_.inc("primary_restorations");
+    }
     if (minority_since_[idx(r)] >= 0) {
       partition_duration_hist_.add(now - minority_since_[idx(r)]);
       minority_since_[idx(r)] = -1;
@@ -343,15 +353,18 @@ void ClusterLifecycle::on_carrier_up(topo::Rank r, topo::Dir d) {
   // A link coming back up toward a believed-dead rank is heal evidence —
   // either a partition heal or a node restart; both converge through the
   // same flood merge, so both feed the heal-convergence histogram.
-  counters_.inc("carrier_heal_events");
-  if (heal_start_ < 0) {
-    heal_start_ = cluster_.engine().now();
-    heal_remaining_ = 0;
-    for (topo::Rank q = 0; q < cluster_.size(); ++q) {
-      const bool pending = cluster_.agent(q).powered() &&
-                           views_[idx(q)].count(Liveness::kDead) > 0;
-      heal_pending_[idx(q)] = pending;
-      if (pending) ++heal_remaining_;
+  {
+    chk::SimLockGuard g(shared_mu_);
+    counters_.inc("carrier_heal_events");
+    if (heal_start_ < 0) {
+      heal_start_ = cluster_.engine().now();
+      heal_remaining_ = 0;
+      for (topo::Rank q = 0; q < cluster_.size(); ++q) {
+        const bool pending = cluster_.agent(q).powered() &&
+                             views_[idx(q)].count(Liveness::kDead) > 0;
+        heal_pending_[idx(q)] = pending;
+        if (pending) ++heal_remaining_;
+      }
     }
   }
   if (side_[idx(r)] == QuorumSide::kMinority) {
@@ -368,7 +381,10 @@ void ClusterLifecycle::on_reconcile(topo::Rank r, std::uint64_t gen) {
   via::KernelAgent& ag = cluster_.agent(r);
   if (!ag.powered()) return;
   ctl.reconcile_gen = gen;
-  counters_.inc("reconcile_waves");
+  {
+    chk::SimLockGuard g(shared_mu_);
+    counters_.inc("reconcile_waves");
+  }
   if (side_[idx(r)] == QuorumSide::kMinority) partition_rejoin(r);
   // Re-flood so the wave reaches minority nodes with no healed link of
   // their own. Runs after partition_rejoin: a reconciled node's route
@@ -385,7 +401,10 @@ void ClusterLifecycle::on_reconcile(topo::Rank r, std::uint64_t gen) {
 void ClusterLifecycle::partition_rejoin(topo::Rank r) {
   via::KernelAgent& ag = cluster_.agent(r);
   const sim::Time now = cluster_.engine().now();
-  counters_.inc("partition_rejoins");
+  {
+    chk::SimLockGuard g(shared_mu_);
+    counters_.inc("partition_rejoins");
+  }
   // 1. Flush every VI under a bumped incarnation epoch: stale retransmits
   //    and half-open channels from the partition era identify themselves
   //    against the new epoch instead of corrupting fresh traffic.
@@ -407,10 +426,13 @@ void ClusterLifecycle::partition_rejoin(topo::Rank r) {
   //    quorum flips back and the minority send/dial gates lift.
   refresh_routes(r);
   update_quorum(r);
-  if (heal_start_ >= 0 && heal_pending_[idx(r)]) {
-    heal_pending_[idx(r)] = false;
-    heal_conv_hist_.add(now - heal_start_);
-    if (--heal_remaining_ == 0) heal_start_ = -1;
+  {
+    chk::SimLockGuard g(shared_mu_);
+    if (heal_start_ >= 0 && heal_pending_[idx(r)]) {
+      heal_pending_[idx(r)] = false;
+      heal_conv_hist_.add(now - heal_start_);
+      if (--heal_remaining_ == 0) heal_start_ = -1;
+    }
   }
   // 4. The rejoin machinery under the bumped epoch: kRejoining flood,
   //    fresh-epoch handshakes with every neighbour, kAlive flood.
@@ -420,7 +442,10 @@ void ClusterLifecycle::partition_rejoin(topo::Rank r) {
 void ClusterLifecycle::push_view(topo::Rank from, topo::Rank to) {
   via::KernelAgent& ag = cluster_.agent(from);
   if (!ag.powered()) return;
-  counters_.inc("view_pushes");
+  {
+    chk::SimLockGuard g(shared_mu_);
+    counters_.inc("view_pushes");
+  }
   // Batched so each control frame stays under the wire MTU.
   constexpr std::size_t kBatch = 64;
   const MembershipView& v = views_[idx(from)];

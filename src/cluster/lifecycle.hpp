@@ -45,6 +45,7 @@
 #include <functional>
 #include <vector>
 
+#include "chk/thread_annotations.hpp"
 #include "cluster/gige_mesh.hpp"
 #include "cluster/membership.hpp"
 #include "obs/metrics.hpp"
@@ -170,13 +171,21 @@ class ClusterLifecycle {
 
   std::vector<QuorumSide> side_;         ///< per node, from its own view
   std::vector<sim::Time> minority_since_;  ///< -1 while primary
+  /// Guards the cross-node tallies below: per-node state (views_, ctl_,
+  /// side_) is only ever touched from its own rank's logical process, but
+  /// the partition counters and heal-convergence tracking are written by
+  /// whichever rank's transition fires, concurrently during parallel
+  /// windows. Zero-cost in the sequential engine.
+  mutable chk::SimLock shared_mu_;
   /// Heal-convergence tracking: set at the first carrier-up heal evidence of
   /// a cycle, cleared when every pending node's view is dead-free again.
-  sim::Time heal_start_ = -1;
-  std::vector<bool> heal_pending_;
-  int heal_remaining_ = 0;
+  sim::Time heal_start_ MESHMP_GUARDED_BY(shared_mu_) = -1;
+  std::vector<bool> heal_pending_ MESHMP_GUARDED_BY(shared_mu_);
+  int heal_remaining_ MESHMP_GUARDED_BY(shared_mu_) = 0;
   topo::RouteTableCache route_cache_;  ///< shared across nodes by dead-set
-  obs::Counters counters_;             ///< "cluster.partition.*"
+  /// "cluster.partition.*" — inc'd under shared_mu_; the registry reads it
+  /// from the host between runs, so the accessor stays lock-free.
+  obs::Counters counters_;
   obs::Registry::Registration counters_reg_;
   obs::Histogram& partition_duration_hist_;  ///< minority entry -> primary, ns
   obs::Histogram& heal_conv_hist_;  ///< heal evidence -> dead-free view, ns

@@ -212,9 +212,12 @@ sim::Task<> Nic::wire_pump() {
       counters_.inc("wire_corrupted");
     }
     assert(peer_ && "Nic: no peer attached");
-    cpu_.engine().schedule(
-        wire_.propagation,
-        [this, f = std::move(f)]() mutable { peer_(std::move(f)); });
+    // Propagation is the cross-LP seam: the peer NIC lives on its own
+    // logical process, and the cable delay is the engine's lookahead, so
+    // this hop is what makes the conservative window sound.
+    cpu_.engine().schedule_to(
+        peer_lp_, wire_.propagation,
+        [this, f = std::move(f)]() mutable { peer_(std::move(f)); }, "wire");
   }
 }
 

@@ -77,8 +77,14 @@ class Nic {
   Nic& operator=(const Nic&) = delete;
 
   /// Connects the far end of the cable (usually the peer NIC's rx_entry()).
-  void set_peer(std::function<void(net::Frame)> peer) {
+  /// `peer_lp` is the logical process owning the peer node; the propagation
+  /// hop is the one place frames cross LPs in a partitioned engine, and the
+  /// cable delay is exactly the engine's lookahead. Leave it defaulted for
+  /// unpartitioned engines (every event is on the control LP anyway).
+  void set_peer(std::function<void(net::Frame)> peer,
+                sim::LpId peer_lp = sim::kControlLp) {
     peer_ = std::move(peer);
+    peer_lp_ = peer_lp;
   }
 
   /// Receive-side entry, to be handed to the peer as its tx sink.
@@ -161,6 +167,7 @@ class Nic {
   net::NodeId node_;
 
   std::function<void(net::Frame)> peer_;
+  sim::LpId peer_lp_ = sim::kControlLp;
   NicDriver* driver_ = nullptr;
 
   sim::Queue<net::Frame> tx_ring_;

@@ -47,8 +47,9 @@ sim::Task<> SimplexPipe::pump() {
       counters_.inc("corrupted");
     }
     assert(sink_ && "SimplexPipe: no sink attached");
-    eng_.schedule(params_.propagation,
-                  [this, f = std::move(f)]() mutable { sink_(std::move(f)); });
+    eng_.schedule_to(
+        sink_lp_, params_.propagation,
+        [this, f = std::move(f)]() mutable { sink_(std::move(f)); }, "wire");
   }
 }
 

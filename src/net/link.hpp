@@ -42,8 +42,13 @@ class SimplexPipe {
   SimplexPipe& operator=(const SimplexPipe&) = delete;
 
   /// Registers the receiver (the peer NIC's rx entry). Must be set before
-  /// the first frame arrives.
-  void set_sink(std::function<void(Frame)> sink) { sink_ = std::move(sink); }
+  /// the first frame arrives. `sink_lp` is the receiver's logical process
+  /// for partitioned engines (the propagation hop crosses LPs there).
+  void set_sink(std::function<void(Frame)> sink,
+                sim::LpId sink_lp = sim::kControlLp) {
+    sink_ = std::move(sink);
+    sink_lp_ = sink_lp;
+  }
 
   /// Queues a frame for transmission; frames serialize in FIFO order.
   void send(Frame f);
@@ -70,6 +75,7 @@ class SimplexPipe {
   std::string name_;
   sim::Queue<Frame> q_;
   std::function<void(Frame)> sink_;
+  sim::LpId sink_lp_ = sim::kControlLp;
   sim::Counters counters_;
   std::int64_t bytes_sent_ = 0;
   bool carrier_ = true;

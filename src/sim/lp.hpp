@@ -1,0 +1,93 @@
+#pragma once
+
+// Logical-process identity for the conservative PDES engine.
+//
+// A partitioned sim::Engine owns one event-queue shard per logical process
+// (LP). LP 0 is the control LP — host drivers, fault injectors, anything
+// constructed outside a node scope — and LPs 1..N map one-to-one onto the
+// simulated torus nodes. The *construction-time* LP decides where an
+// object's events live: cluster builders wrap each node's hardware, agent
+// and lifecycle construction in an LpScope so every timer, pump coroutine
+// and callback that object schedules lands on its node's shard.
+//
+// At dispatch time the engine sets the current LP to the shard being
+// executed, so everything an event body schedules (including coroutine
+// wakes via Engine::post) stays on the dispatching LP. Coroutines therefore
+// *migrate* to the LP of whoever wakes them — a rank coroutine woken by its
+// node's rx event runs on that node's LP with no home-LP bookkeeping, and
+// the only events that ever cross LPs are the explicit wire-propagation
+// hops (Engine::schedule_to), whose delay is the lookahead window.
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "sim/time.hpp"
+
+namespace meshmp::sim {
+
+class Engine;
+
+/// Logical-process id: 0 is the control LP, 1..N are torus nodes.
+using LpId = std::uint32_t;
+inline constexpr LpId kControlLp = 0;
+
+namespace detail {
+struct LpCtx {
+  Engine* eng = nullptr;
+  LpId lp = kControlLp;
+  /// Causal floor: the `when` of the event this thread is dispatching on
+  /// `eng` (0 outside dispatch). Scheduling bases on max(shard clock,
+  /// floor), so an event that LpScopes onto *another* LP — a restart
+  /// respawning a crashed node's service loops from the control LP — never
+  /// schedules into that shard's stale past: its clock may not have moved
+  /// since the crash.
+  Time tnow = 0;
+  /// Shard whose events this thread is dispatching (null outside dispatch).
+  /// Scheduling onto any *other* shard mid-run marks that shard's head
+  /// dirty: it may be inactive this window, and the coordinator must
+  /// re-read its queue head or the new event is never discovered.
+  const void* dispatch_shard = nullptr;
+};
+inline LpCtx& lp_ctx() noexcept {
+  thread_local LpCtx ctx;
+  return ctx;
+}
+}  // namespace detail
+
+/// RAII scope binding subsequently scheduled work (and constructed objects'
+/// service coroutines) to `lp` of `eng`. Nestable; restores on destruction.
+/// Inside an event body the dispatching event's time carries through (same
+/// engine), so scoped scheduling stays anchored to the causal present.
+class LpScope {
+ public:
+  LpScope(Engine& eng, LpId lp) noexcept : prev_(detail::lp_ctx()) {
+    const bool same = prev_.eng == &eng;
+    detail::lp_ctx() = detail::LpCtx{&eng, lp, same ? prev_.tnow : Time{0},
+                                     same ? prev_.dispatch_shard : nullptr};
+  }
+  ~LpScope() { detail::lp_ctx() = prev_; }
+  LpScope(const LpScope&) = delete;
+  LpScope& operator=(const LpScope&) = delete;
+
+ private:
+  detail::LpCtx prev_;
+};
+
+/// Worker-thread count requested via MESHMP_THREADS. 0 (unset, empty, or
+/// unparsable) means "legacy single-shard engine": cluster builders skip
+/// partitioning entirely and behave byte-identically to the sequential
+/// engine. Any value >= 1 selects the windowed conservative engine with
+/// that many workers (1 is the single-threaded reference execution of the
+/// same algorithm — same digests as any other value by construction).
+inline unsigned threads_from_env() noexcept {
+  // Host configuration, read once per call site at cluster construction;
+  // never consulted mid-simulation.
+  const char* s = std::getenv("MESHMP_THREADS");  // NOLINT(concurrency-mt-unsafe)
+  if (s == nullptr || *s == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || v < 0) return 0;
+  return v > 64 ? 64U : static_cast<unsigned>(v);
+}
+
+}  // namespace meshmp::sim

@@ -1,0 +1,124 @@
+#include "sim/scheduler.hpp"
+
+#include "sim/engine.hpp"
+
+namespace meshmp::sim {
+
+namespace {
+
+// One pause-class instruction: keeps the core's load port free for the
+// owner of the line being watched without giving up the timeslice.
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("isb" ::: "memory");
+#endif
+}
+
+// Spin budgets before parking. With spare cores the waiter pause-spins —
+// tens of microseconds of busy-wait, orders of magnitude longer than a busy
+// window takes to arrive, with no syscalls. When the machine is
+// oversubscribed (threads >= cores) pause-spinning would burn the timeslice
+// the *other* thread needs to make progress, so the waiter yields instead,
+// and briefly: every barrier costs context switches there regardless.
+constexpr int kPauseIters = 20000;
+constexpr int kYieldIters = 1024;
+
+}  // namespace
+
+WorkerTeam::WorkerTeam(Engine& eng, unsigned nthreads)
+    : eng_(eng), nthreads_(nthreads) {
+  const unsigned cores = std::thread::hardware_concurrency();
+  spin_iters_ = cores > nthreads_ ? kPauseIters : kYieldIters;
+  spin_yields_ = cores <= nthreads_;
+  threads_.reserve(nthreads_ > 0 ? nthreads_ - 1 : 0);
+  for (unsigned i = 1; i < nthreads_; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+WorkerTeam::~WorkerTeam() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_.store(true, std::memory_order_release);
+    gen_.fetch_add(1);
+  }
+  cv_workers_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerTeam::run_window(Time wend) {
+  if (threads_.empty()) {
+    eng_.run_window_shards(0, nthreads_ == 0 ? 1 : nthreads_, wend);
+    return;
+  }
+  wend_ = wend;
+  remaining_.store(static_cast<unsigned>(threads_.size()),
+                   std::memory_order_release);
+  // seq_cst bump, then check who actually parked: a worker either sees the
+  // new generation in its pre-park predicate (checked under m_) or has
+  // already bumped parked_workers_ and gets the notify.
+  gen_.fetch_add(1);
+  if (parked_workers_.load() > 0) {
+    { std::lock_guard<std::mutex> lk(m_); }
+    cv_workers_.notify_all();
+  }
+
+  eng_.run_window_shards(0, nthreads_, wend);
+
+  for (int i = 0; i < spin_iters_; ++i) {
+    if (remaining_.load(std::memory_order_acquire) == 0) return;
+    if (spin_yields_) {
+      std::this_thread::yield();
+    } else {
+      cpu_pause();
+    }
+  }
+  std::unique_lock<std::mutex> lk(m_);
+  coord_parked_.store(true);
+  cv_coord_.wait(lk, [this] {
+    return remaining_.load(std::memory_order_acquire) == 0;
+  });
+  coord_parked_.store(false);
+}
+
+void WorkerTeam::worker_main(unsigned index) {
+  chk::set_worker_index(static_cast<int>(index));
+  std::uint64_t seen = 0;
+  for (;;) {
+    // Wait for a new window (or stop): spin briefly, then park.
+    std::uint64_t g = gen_.load(std::memory_order_acquire);
+    for (int i = 0; g == seen && i < spin_iters_; ++i) {
+      if (spin_yields_) {
+        std::this_thread::yield();
+      } else {
+        cpu_pause();
+      }
+      g = gen_.load(std::memory_order_acquire);
+    }
+    if (g == seen) {
+      std::unique_lock<std::mutex> lk(m_);
+      parked_workers_.fetch_add(1);
+      cv_workers_.wait(lk, [this, seen] {
+        return gen_.load(std::memory_order_acquire) != seen;
+      });
+      parked_workers_.fetch_sub(1);
+      g = gen_.load(std::memory_order_acquire);
+    }
+    seen = g;
+    if (stop_.load(std::memory_order_acquire)) return;
+
+    eng_.run_window_shards(index, nthreads_, wend_);
+
+    // seq_cst decrement, then check whether the coordinator parked: it
+    // either sees remaining_ == 0 in its pre-park predicate (under m_) or
+    // has already published coord_parked_ and gets the notify.
+    if (remaining_.fetch_sub(1) == 1 && coord_parked_.load()) {
+      { std::lock_guard<std::mutex> lk(m_); }
+      cv_coord_.notify_one();
+    }
+  }
+}
+
+}  // namespace meshmp::sim

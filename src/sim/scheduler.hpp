@@ -1,0 +1,77 @@
+#pragma once
+
+// Worker team for the conservative windowed engine.
+//
+// The coordinator (whatever host thread called Engine::run / run_until)
+// publishes one lookahead window at a time; each worker processes the event
+// shards of the LPs it owns (static assignment lp % nthreads == worker, so
+// the partition is a function of the LP count and thread count only, never
+// of host timing) and the coordinator doubles as worker 0. Between windows
+// workers spin briefly on the generation counter and then park on a condvar,
+// so a mostly-sequential phase (campaign logic on the control LP) costs
+// parked threads nothing.
+//
+// Determinism: nothing here orders events. Each LP's events run in (when,
+// seq) order by its one owner, cross-LP messages travel through per-shard
+// mailboxes drained canonically at window boundaries, and the per-LP FNV
+// digests are merged in LP-id order — so the window barrier is pure
+// synchronization and the digest is independent of worker count and of how
+// windows interleave on the host.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "chk/parallel.hpp"
+#include "sim/time.hpp"
+
+namespace meshmp::sim {
+
+class Engine;
+
+class WorkerTeam {
+ public:
+  /// Spawns `nthreads - 1` workers (the coordinator is worker 0). Holds the
+  /// chk::mt_active() refcount for its whole lifetime, so every SimLock in
+  /// the process is a real mutex while the team exists.
+  WorkerTeam(Engine& eng, unsigned nthreads);
+  ~WorkerTeam();
+  WorkerTeam(const WorkerTeam&) = delete;
+  WorkerTeam& operator=(const WorkerTeam&) = delete;
+
+  /// Runs one window: publishes `wend`, executes worker 0's shard set on the
+  /// calling thread, and returns once every worker finished the window.
+  void run_window(Time wend);
+
+  [[nodiscard]] unsigned threads() const noexcept { return nthreads_; }
+
+ private:
+  void worker_main(unsigned index);
+
+  Engine& eng_;
+  unsigned nthreads_;
+  // Chosen at construction from hardware_concurrency() vs nthreads: pause-
+  // spin long on spare cores, yield-spin briefly when oversubscribed.
+  int spin_iters_ = 0;
+  bool spin_yields_ = false;
+  chk::MtActivation mt_;  // ordered before threads_: active while any worker runs
+
+  std::mutex m_;
+  std::condition_variable cv_workers_;  // workers park here between windows
+  std::condition_variable cv_coord_;    // coordinator parks here during windows
+  std::atomic<std::uint64_t> gen_{0};   // bumped (under m_) per window/stop
+  std::atomic<unsigned> remaining_{0};  // workers still inside the window
+  std::atomic<bool> stop_{false};
+  // Park bookkeeping (seq_cst on both sides): the hot path skips the mutex
+  // and condvar syscalls entirely while everyone is still spinning.
+  std::atomic<unsigned> parked_workers_{0};
+  std::atomic<bool> coord_parked_{false};
+  Time wend_ = 0;  // published before the gen_ bump, read after observing it
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace meshmp::sim

@@ -6,6 +6,15 @@
 // timestamp rather than resuming inline: wakeup order is then a deterministic
 // function of program order, and call stacks stay flat no matter how deep the
 // protocol layering gets.
+//
+// Parallel engine: a primitive may be shared across logical processes (a
+// TaskGroup joining rank coroutines that migrated to their nodes' LPs), so
+// waiter lists are guarded by a chk::SimLock — zero-cost in the sequential
+// engine, a real mutex during parallel windows. Wakes still go through
+// Engine::post, so a woken coroutine migrates to its waker's LP. Signal
+// carries a notification epoch and every wait loop captures the awaiter
+// *before* testing its predicate; a notification landing between the test
+// and the suspension is then observed by the awaiter instead of lost.
 
 #include <cassert>
 #include <coroutine>
@@ -18,6 +27,8 @@
 #include <vector>
 
 #include "chk/audit.hpp"
+#include "chk/parallel.hpp"
+#include "chk/thread_annotations.hpp"
 #include "sim/engine.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
@@ -44,20 +55,32 @@ class Trigger {
   Trigger(const Trigger&) = delete;
   Trigger& operator=(const Trigger&) = delete;
 
-  [[nodiscard]] bool fired() const noexcept { return fired_; }
+  [[nodiscard]] bool fired() const noexcept {
+    chk::SimLockGuard g(mu_);
+    return fired_;
+  }
 
   void fire() {
-    if (fired_) return;
-    fired_ = true;
-    for (auto h : waiters_) eng_->post(h);
-    waiters_.clear();
+    std::vector<std::coroutine_handle<>> woken;
+    {
+      chk::SimLockGuard g(mu_);
+      if (fired_) return;
+      fired_ = true;
+      woken.swap(waiters_);
+    }
+    for (auto h : woken) eng_->post(h);
   }
 
   auto wait() noexcept {
     struct Awaiter {
       Trigger& t;
-      bool await_ready() const noexcept { return t.fired_; }
-      void await_suspend(std::coroutine_handle<> h) { t.waiters_.push_back(h); }
+      bool await_ready() const noexcept { return t.fired(); }
+      bool await_suspend(std::coroutine_handle<> h) {
+        chk::SimLockGuard g(t.mu_);
+        if (t.fired_) return false;  // fired after the ready check: pass through
+        t.waiters_.push_back(h);
+        return true;
+      }
       void await_resume() const noexcept {}
     };
     return Awaiter{*this};
@@ -65,8 +88,9 @@ class Trigger {
 
  private:
   Engine* eng_;
-  bool fired_ = false;
-  std::vector<std::coroutine_handle<>> waiters_;
+  mutable chk::SimLock mu_;
+  bool fired_ MESHMP_GUARDED_BY(mu_) = false;
+  std::vector<std::coroutine_handle<>> waiters_ MESHMP_GUARDED_BY(mu_);
 };
 
 /// Multi-shot notification: each notify_all() wakes everyone waiting *now*.
@@ -78,31 +102,69 @@ class Signal {
   Signal& operator=(const Signal&) = delete;
 
   void notify_all() {
-    for (auto h : waiters_) eng_->post(h);
-    waiters_.clear();
+    std::vector<std::coroutine_handle<>> woken;
+    {
+      chk::SimLockGuard g(mu_);
+      ++epoch_;
+      woken.swap(waiters_);
+    }
+    for (auto h : woken) eng_->post(h);
+    // Hand the emptied buffer's capacity back so the steady-state
+    // notify/wait cycle stays allocation-free.
+    woken.clear();
+    chk::SimLockGuard g(mu_);
+    if (waiters_.empty()) waiters_.swap(woken);
   }
 
+  /// Awaits the next notification *after the awaiter was created*. Create
+  /// the awaiter before testing the condition it guards (as wait_until
+  /// does): a notify_all between the test and the co_await then resumes the
+  /// waiter immediately instead of being lost.
   auto next() noexcept {
     struct Awaiter {
       Signal& s;
-      bool await_ready() const noexcept { return false; }
-      void await_suspend(std::coroutine_handle<> h) { s.waiters_.push_back(h); }
+      std::uint64_t seen;
+      explicit Awaiter(Signal& sig) : s(sig) {
+        chk::SimLockGuard g(s.mu_);
+        seen = s.epoch_;
+      }
+      bool await_ready() const noexcept {
+        chk::SimLockGuard g(s.mu_);
+        return s.epoch_ != seen;
+      }
+      bool await_suspend(std::coroutine_handle<> h) {
+        chk::SimLockGuard g(s.mu_);
+        if (s.epoch_ != seen) return false;  // notified since creation
+        s.waiters_.push_back(h);
+        return true;
+      }
       void await_resume() const noexcept {}
     };
     return Awaiter{*this};
   }
 
-  [[nodiscard]] std::size_t waiting() const noexcept { return waiters_.size(); }
+  [[nodiscard]] std::size_t waiting() const noexcept {
+    chk::SimLockGuard g(mu_);
+    return waiters_.size();
+  }
 
  private:
   Engine* eng_;
-  std::vector<std::coroutine_handle<>> waiters_;
+  mutable chk::SimLock mu_;
+  std::uint64_t epoch_ MESHMP_GUARDED_BY(mu_) = 0;
+  std::vector<std::coroutine_handle<>> waiters_ MESHMP_GUARDED_BY(mu_);
 };
 
 /// Suspends until pred() holds, re-checking after each signal notification.
+/// The awaiter is created before each predicate test so a notification
+/// racing the test is caught by the awaiter's epoch instead of lost.
 template <typename Pred>
 Task<> wait_until(Signal& signal, Pred pred) {
-  while (!pred()) co_await signal.next();
+  for (;;) {
+    auto next = signal.next();
+    if (pred()) break;
+    co_await next;
+  }
 }
 
 /// Unbounded FIFO channel with awaitable pop. Values are handed directly to
@@ -115,14 +177,20 @@ class Queue {
   Queue& operator=(const Queue&) = delete;
 
   void push(T value) {
-    if (!waiters_.empty()) {
-      Waiter w = waiters_.front();
+    Waiter w{};
+    {
+      chk::SimLockGuard g(mu_);
+      if (waiters_.empty()) {
+        items_.push_back(std::move(value));
+        return;
+      }
+      w = waiters_.front();
       waiters_.pop_front();
-      w.slot->emplace(std::move(value));
-      eng_->post(w.h);
-      return;
     }
-    items_.push_back(std::move(value));
+    // The waiter is suspended until the posted wake runs, so its slot is
+    // exclusively ours here.
+    w.slot->emplace(std::move(value));
+    eng_->post(w.h);
   }
 
   auto pop() noexcept {
@@ -130,13 +198,14 @@ class Queue {
       Queue& q;
       std::optional<T> slot{};
       bool await_ready() {
-        if (q.items_.empty()) return false;
-        slot.emplace(std::move(q.items_.front()));
-        q.items_.pop_front();
-        return true;
+        chk::SimLockGuard g(q.mu_);
+        return q.take(slot);
       }
-      void await_suspend(std::coroutine_handle<> h) {
+      bool await_suspend(std::coroutine_handle<> h) {
+        chk::SimLockGuard g(q.mu_);
+        if (q.take(slot)) return false;  // pushed after the ready check
         q.waiters_.push_back(Waiter{h, &slot});
+        return true;
       }
       T await_resume() { return std::move(*slot); }
     };
@@ -145,23 +214,36 @@ class Queue {
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
-    if (items_.empty()) return std::nullopt;
-    std::optional<T> v{std::move(items_.front())};
-    items_.pop_front();
+    chk::SimLockGuard g(mu_);
+    std::optional<T> v;
+    take(v);
     return v;
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    chk::SimLockGuard g(mu_);
+    return items_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
  private:
   struct Waiter {
     std::coroutine_handle<> h;
     std::optional<T>* slot;
   };
+
+  /// Moves the head item into `slot` if there is one.
+  bool take(std::optional<T>& slot) MESHMP_REQUIRES(mu_) {
+    if (items_.empty()) return false;
+    slot.emplace(std::move(items_.front()));
+    items_.pop_front();
+    return true;
+  }
+
   Engine* eng_;
-  std::deque<T> items_;
-  std::deque<Waiter> waiters_;
+  mutable chk::SimLock mu_;
+  std::deque<T> items_ MESHMP_GUARDED_BY(mu_);
+  std::deque<Waiter> waiters_ MESHMP_GUARDED_BY(mu_);
 };
 
 /// Counted resource with priority + FIFO granting. Priority 0 is the most
@@ -318,7 +400,7 @@ class TaskGroup {
   TaskGroup& operator=(const TaskGroup&) = delete;
 
   void add(Task<> task) {
-    ++pending_;
+    pending_.add(1);
     wrap(std::move(task)).detach();
   }
 
@@ -329,15 +411,22 @@ class TaskGroup {
   }
 
   Task<> join() {
-    while (pending_ > 0) co_await done_.next();
-    if (error_) {
-      auto e = error_;
-      error_ = nullptr;
-      std::rethrow_exception(e);
+    for (;;) {
+      auto next = done_.next();  // created before the test: no lost wakeup
+      if (pending_.load() == 0) break;
+      co_await next;
     }
+    std::exception_ptr e;
+    {
+      chk::SimLockGuard g(err_mu_);
+      e = std::exchange(error_, nullptr);
+    }
+    if (e) std::rethrow_exception(e);
   }
 
-  [[nodiscard]] int pending() const noexcept { return pending_; }
+  [[nodiscard]] int pending() const noexcept {
+    return static_cast<int>(pending_.load());
+  }
 
  private:
   template <typename T>
@@ -349,15 +438,19 @@ class TaskGroup {
     try {
       co_await task;
     } catch (...) {
+      chk::SimLockGuard g(err_mu_);
       if (!error_) error_ = std::current_exception();
     }
-    --pending_;
+    // Order matters: the join loop re-reads pending_ after observing the
+    // epoch bump, so the decrement must come first.
+    pending_.sub(1);
     done_.notify_all();
   }
 
-  int pending_ = 0;
+  chk::SharedCount pending_;
   Signal done_;
-  std::exception_ptr error_;
+  mutable chk::SimLock err_mu_;
+  std::exception_ptr error_ MESHMP_GUARDED_BY(err_mu_);
 };
 
 }  // namespace meshmp::sim

@@ -21,9 +21,10 @@ std::uint64_t RouteTableCache::key(Rank src, const std::vector<bool>& dead) {
   return chk::fnv1a_u64(h, static_cast<std::uint64_t>(src));
 }
 
-const std::vector<std::int8_t>& RouteTableCache::get(
-    const Torus& torus, Rank src, const std::vector<bool>& dead) {
+std::vector<std::int8_t> RouteTableCache::get(const Torus& torus, Rank src,
+                                              const std::vector<bool>& dead) {
   const std::uint64_t k = key(src, dead);
+  chk::SimLockGuard g(mu_);
   auto [it, fresh] = entries_.emplace(k, Entry{});
   if (!fresh && it->second.dead == dead) {
     ++hits_;

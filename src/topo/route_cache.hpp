@@ -14,29 +14,49 @@
 // degrades to a recompute, never to a wrong table. Entries persist until
 // clear(); the map is a chk::FlatMap because route state must never iterate
 // in hash order.
+//
+// The cache is shared by every node's failure handling, which under the
+// parallel engine runs on per-node logical processes: the table is guarded
+// by a chk::SimLock and get() hands out a copy rather than a reference into
+// the map (an insert on another LP may rehash underneath a reference).
 
 #include <cstdint>
 #include <vector>
 
 #include "chk/flat_map.hpp"
+#include "chk/thread_annotations.hpp"
 #include "topo/torus.hpp"
 
 namespace meshmp::topo {
 
+// meshmp-lint: shared-state
 class RouteTableCache {
  public:
   /// The first-hop table for `src` avoiding `dead`, computed at most once
-  /// per distinct (src, dead) pair. The reference stays valid until clear().
-  const std::vector<std::int8_t>& get(const Torus& torus, Rank src,
-                                      const std::vector<bool>& dead);
+  /// per distinct (src, dead) pair. Returned by value: the cache may be hit
+  /// from several logical processes, so references into it are not stable.
+  std::vector<std::int8_t> get(const Torus& torus, Rank src,
+                               const std::vector<bool>& dead);
 
   /// Drops every entry (e.g. when the cluster heals and stale avoidance
   /// sets will never recur).
-  void clear() { entries_.clear(); }
+  void clear() {
+    chk::SimLockGuard g(mu_);
+    entries_.clear();
+  }
 
-  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
-  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    chk::SimLockGuard g(mu_);
+    return hits_;
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    chk::SimLockGuard g(mu_);
+    return misses_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    chk::SimLockGuard g(mu_);
+    return entries_.size();
+  }
 
  private:
   struct Entry {
@@ -45,9 +65,10 @@ class RouteTableCache {
   };
   static std::uint64_t key(Rank src, const std::vector<bool>& dead);
 
-  chk::FlatMap<std::uint64_t, Entry> entries_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  mutable chk::SimLock mu_;
+  chk::FlatMap<std::uint64_t, Entry> entries_ MESHMP_GUARDED_BY(mu_);
+  std::uint64_t hits_ MESHMP_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ MESHMP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace meshmp::topo

@@ -76,7 +76,7 @@ def main():
         check(code == want_code, f"{name}: exit code {code} == {want_code}")
 
     rules_covered = {r for p in fixtures for _, _, r in expected_findings(p)}
-    check(rules_covered >= {"D1", "D2", "D3", "C1", "R3", "H1"},
+    check(rules_covered >= {"D1", "D2", "D3", "C1", "R3", "R4", "H1"},
           f"fixtures cover all rules ({sorted(rules_covered)})")
 
     # Gate 2: the real tree is clean under the checked-in allowlist.

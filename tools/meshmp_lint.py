@@ -32,6 +32,13 @@ Concurrency readiness
       chk::SimLock (or MESHMP_CAPABILITY) member, and every container member
       it declares must be MESHMP_GUARDED_BY one, or carry
       // meshmp-lint: unshared(<reason>).
+  R4  no raw threading primitives (std::thread, std::mutex and friends,
+      std::condition_variable, std::atomic*, lock helpers, futures, or
+      their headers) outside src/sim/ and src/chk/: simulation code
+      synchronizes through chk::SimLock / chk::SharedCount and the engine's
+      LP partition — a raw primitive elsewhere bypasses the determinism
+      model and the single-threaded-until-partitioned contract.
+      Suppress: // meshmp-lint: raw-threading-ok(<reason>)
 
 Hot path
   H1  no std::function in the event-scheduling hot path: anywhere under
@@ -69,7 +76,7 @@ WINDOW = 12  # max lines a charge/annotation covers within a contiguous block
 SUPPRESS_RE = re.compile(
     r"meshmp-lint:\s*"
     r"(host-copy|charged-copy|unordered-ok|ptr-key-ok|host-time|unshared"
-    r"|std-function-ok)"
+    r"|std-function-ok|raw-threading-ok)"
     r"\s*\(")
 MARKER_SHARED_RE = re.compile(r"meshmp-lint:\s*shared-state\b")
 COMMENT_RE = re.compile(r"//.*$")
@@ -87,6 +94,17 @@ PTRKEY_RE = re.compile(
     r"|\bstd::(?:map|set|multimap|multiset)<\s*[^,<>]*\*\s*[,>]")
 COPY_RE = re.compile(r"\b(?:std::)?memcpy\s*\(|\bstd::copy\s*\(")
 STD_FUNCTION_RE = re.compile(r"\bstd::function\s*<")
+RAW_THREADING_RE = re.compile(
+    r"\bstd::(?:jthread|thread|timed_mutex|recursive_mutex"
+    r"|recursive_timed_mutex|shared_timed_mutex|shared_mutex|mutex"
+    r"|condition_variable_any|condition_variable|atomic\w*|memory_order\w*"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock|call_once|once_flag"
+    r"|barrier|latch|counting_semaphore|binary_semaphore|stop_token"
+    r"|future|shared_future|promise|packaged_task|async"
+    r"|this_thread::\w+)\b")
+THREADING_INCLUDE_RE = re.compile(
+    r"^\s*#\s*include\s*<(?:thread|mutex|shared_mutex|condition_variable"
+    r"|atomic|barrier|latch|semaphore|future|stop_token)>")
 SCHEDULE_CALL_RE = re.compile(
     r"(?:\bschedule(?:_at)?|(?<![\w.])post|[.>]post)\s*\(")
 CHARGE_RE = re.compile(r"\bcharge_copy\s*(?:<[^>]*>)?\(")
@@ -203,6 +221,34 @@ def block_has_near(lines, idx, pattern):
 def in_sim_core(path):
     parts = os.path.normpath(path).split(os.sep)
     return "sim" in parts
+
+
+def in_threading_layer(path):
+    """src/sim/ and src/chk/ are the only layers allowed to touch raw
+    threading primitives (the worker team and the SimLock/SharedCount
+    wrappers it activates)."""
+    parts = os.path.normpath(path).split(os.sep)
+    return "sim" in parts or "chk" in parts
+
+
+def check_raw_threading(path, lines):
+    if in_threading_layer(path):
+        return []
+    out = []
+    for i, raw in enumerate(lines):
+        code = strip_comment(raw)
+        if not (RAW_THREADING_RE.search(code)
+                or THREADING_INCLUDE_RE.search(code)):
+            continue
+        if suppressed(lines, i, ("raw-threading-ok",)):
+            continue
+        out.append(Finding(
+            "R4", path, i + 1,
+            "raw threading primitive outside src/sim/ + src/chk/: "
+            "synchronize through chk::SimLock / chk::SharedCount and the "
+            "engine's LP partition instead (or annotate raw-threading-ok)",
+            raw))
+    return out
 
 
 def check_hot_path(path, lines):
@@ -478,6 +524,7 @@ def main(argv=None):
         findings.extend(check_copy_accounting(rel, lines))
         findings.extend(check_shared_state(rel, lines))
         findings.extend(check_hot_path(rel, lines))
+        findings.extend(check_raw_threading(rel, lines))
 
     entries = load_allowlist(args.allowlist)
     kept, allowed = [], 0
