@@ -1,5 +1,6 @@
 #include "cluster/lifecycle.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -34,10 +35,22 @@ ClusterLifecycle::ClusterLifecycle(GigeMeshCluster& cluster,
       partition_duration_hist_(
           obs::Registry::instance().histogram("cluster.partition.duration_ns")),
       heal_conv_hist_(obs::Registry::instance().histogram(
-          "cluster.partition.heal_convergence_ns")) {
+          "cluster.partition.heal_convergence_ns")),
+      link_seen_(idx(cluster.size()),
+                 std::vector<std::uint64_t>(idx(cluster.size()), 0)),
+      remote_degraded_(idx(cluster.size()),
+                       std::vector<topo::DirMask>(idx(cluster.size()), 0)),
+      phi_reg_(obs::Registry::instance().attach("cluster.phi", &phi_counters_)),
+      score_reg_(
+          obs::Registry::instance().attach("net.link.score", &score_counters_)),
+      phi_suspect_hist_(obs::Registry::instance().histogram(
+          "cluster.phi.suspect_level_x1000")) {
   views_.reserve(idx(cluster.size()));
+  quality_.reserve(idx(cluster.size()));
   for (topo::Rank r = 0; r < cluster.size(); ++r) {
     views_.emplace_back(cluster.size());
+    quality_.emplace_back(params_.quality, kMaxPorts);
+    ctl_[idx(r)].ls_pending.assign(idx(cluster.size()), 0);
   }
 }
 
@@ -52,12 +65,23 @@ void ClusterLifecycle::start() {
                                      const buf::Slice& payload) {
       if (stopped_) return;
       if (h.kind == via::MsgKind::kHeartbeat) {
-        on_heartbeat(r, static_cast<topo::Rank>(src));
+        on_heartbeat(r, static_cast<topo::Rank>(src), h);
+      } else if (h.kind == via::MsgKind::kHeartbeatAck) {
+        on_heartbeat_ack(r, static_cast<topo::Rank>(src), h);
+      } else if (h.kind == via::MsgKind::kLinkState) {
+        on_linkstate_frame(r, payload.data(), payload.size());
       } else if (h.kind == via::MsgKind::kReconcile) {
         on_reconcile(r, h.immediate);
       } else {
         on_membership_frame(r, payload.data(), payload.size());
       }
+    });
+    // Go-back-N retransmits toward a direct neighbour are loss evidence for
+    // the port serving it — the data path's contribution to link scoring.
+    ag.set_retransmit_observer([this, r](net::NodeId remote) {
+      if (stopped_) return;
+      const auto d = dir_toward(r, static_cast<topo::Rank>(remote));
+      if (d) quality_[idx(r)].on_retransmit(d->index());
     });
     // Carrier restoration is the heal trigger: a link coming up toward a
     // rank this node believes dead starts the reconciliation sequence.
@@ -119,6 +143,15 @@ void ClusterLifecycle::on_restart(topo::Rank r) {
   // The silence clocks restart with the node; without this the monitor would
   // re-declare every neighbour dead from pre-crash timestamps.
   ctl_[idx(r)].last_heard.assign(idx(cluster_.size()), now);
+  // Probe/arrival bookkeeping and port scores restart with the hardware;
+  // link_version stays monotone so fresh-life floods outrank stale echoes.
+  for (DirHealth& dh : ctl_[idx(r)].dirs) dh = DirHealth{};
+  quality_[idx(r)] = net::LinkQuality(params_.quality, kMaxPorts);
+  link_seen_[idx(r)].assign(idx(cluster_.size()), 0);
+  link_seen_[idx(r)][idx(r)] = ctl_[idx(r)].link_version;
+  remote_degraded_[idx(r)].assign(idx(cluster_.size()), 0);
+  ctl_[idx(r)].ls_pending.assign(idx(cluster_.size()), 0);
+  ctl_[idx(r)].ls_any = false;
   sim::LpScope scope(cluster_.engine(), cluster_.lp_of(r));
   heartbeat_loop(r, gen).detach();
   monitor_loop(r, gen).detach();
@@ -135,12 +168,29 @@ sim::Task<> ClusterLifecycle::heartbeat_loop(topo::Rank r, std::uint64_t gen) {
     if (stopped_ || gen != ctl_[idx(r)].gen) co_return;
     via::KernelAgent& ag = cluster_.agent(r);
     if (!ag.powered()) co_return;
+    const sim::Time now = eng.now();
     for (topo::Dir d : t.directions(t.coord(r))) {
       const auto n = t.neighbor(r, d);
       if (!n) continue;
       // No point probing a confirmed corpse; rejoin news revives the probe.
       if (views_[idx(r)].at(*n).state == Liveness::kDead) continue;
-      ag.send_control(*n, via::MsgKind::kHeartbeat, {});
+      if ((ag.failed_dirs() & topo::dir_bit(d)) != 0) {
+        // Carrier is down this way but the neighbour is not condemned (the
+        // link-flap detour case): keep its silence clock fed over whatever
+        // route still reaches it. msg_id 0 marks a non-probe — no ack.
+        ag.send_control(*n, via::MsgKind::kHeartbeat, {});
+        continue;
+      }
+      // Pinned probe: it must exercise the exact cable it monitors even when
+      // quality scoring routes data traffic around it — a probe that detours
+      // would mask the recovery the hysteresis clear threshold waits for.
+      // msg_id packs (dir index << 24 | seq) so the routed ack, which may
+      // arrive over any port, still credits the port that was probed.
+      DirHealth& dh = ctl_[idx(r)].dirs[static_cast<std::size_t>(d.index())];
+      const auto seq = static_cast<std::uint32_t>(++dh.probe_seq & 0xFFFFFFu);
+      ag.send_control_dir(
+          d, via::MsgKind::kHeartbeat, {}, static_cast<std::uint64_t>(now),
+          (static_cast<std::uint32_t>(d.index()) << 24) | seq);
     }
   }
 }
@@ -151,21 +201,143 @@ sim::Task<> ClusterLifecycle::monitor_loop(topo::Rank r, std::uint64_t gen) {
   for (;;) {
     co_await sim::delay(eng, params_.heartbeat_period);
     if (stopped_ || gen != ctl_[idx(r)].gen) co_return;
-    if (!cluster_.agent(r).powered()) co_return;
+    via::KernelAgent& ag = cluster_.agent(r);
+    if (!ag.powered()) co_return;
     const sim::Time now = eng.now();
+    NodeCtl& ctl = ctl_[idx(r)];
+    net::LinkQuality& lq = quality_[idx(r)];
+    // A membership flood storm within the last tick means the wire is busy
+    // carrying the cluster's gossip, not dropping probes: acks queue for a
+    // tick or more behind hundreds of flood frames. Sampling resumes one
+    // quiet tick later — a probe whose ack did land late has advanced
+    // probe_ack_seq by then and produces no timeout at all.
+    const bool flood_storm =
+        ctl.last_member_news >= 0 &&
+        now - ctl.last_member_news <= params_.heartbeat_period;
     for (topo::Dir d : t.directions(t.coord(r))) {
       const auto n = t.neighbor(r, d);
       if (!n) continue;
+      DirHealth& dh = ctl.dirs[static_cast<std::size_t>(d.index())];
+      // Overdue-probe sampling: a probe sent at least two full ticks ago and
+      // still unacked is a loss observation. Only the newest such probe is
+      // sampled per tick — the EWMA wants a loss *rate*, not a backlog
+      // count — and the two-tick grace keeps a storm-delayed ack (membership
+      // floods at partition onset queue control frames for most of a tick)
+      // from reading as wire loss.
+      if (!flood_storm && (ag.failed_dirs() & topo::dir_bit(d)) == 0) {
+        const std::uint64_t due = dh.seq_two_ticks_ago;
+        if (due > dh.probe_ack_seq && due > dh.timeout_checked) {
+          lq.on_probe_timeout(d.index());
+          dh.timeout_checked = due;
+        }
+      }
+      dh.seq_two_ticks_ago = dh.seq_at_last_tick;
+      dh.seq_at_last_tick = dh.probe_seq;
       const Liveness st = views_[idx(r)].at(*n).state;
       if (st == Liveness::kDead || st == Liveness::kRejoining) continue;
-      const sim::Duration silent = now - ctl_[idx(r)].last_heard[idx(*n)];
-      if (silent >= params_.dead_after) {
+      const sim::Duration silent = now - ctl.last_heard[idx(*n)];
+      const double phi = phi_level(ctl, d.index(), silent);
+      if (phi >= params_.phi_dead) {
+        {
+          chk::SimLockGuard g(shared_mu_);
+          phi_counters_.inc("dead_declared");
+        }
         declare(r, *n, Liveness::kDead);
-      } else if (silent >= params_.suspect_after && st == Liveness::kAlive) {
+      } else if (phi >= params_.phi_suspect && st == Liveness::kAlive) {
+        phi_suspect_hist_.add(static_cast<sim::Duration>(phi * 1000));
+        {
+          chk::SimLockGuard g(shared_mu_);
+          phi_counters_.inc("suspects");
+        }
         declare(r, *n, Liveness::kSuspect);
       }
     }
+    // Hysteresis re-score; on any mask flip, retarget local egress and flood
+    // the new mask so remote route tables can dodge this node's sick ports.
+    if (lq.update_masks()) {
+      const auto deg = static_cast<topo::DirMask>(lq.degraded_mask());
+      const auto blk = static_cast<topo::DirMask>(lq.black_mask());
+      ag.set_quality_masks(deg, blk);
+      {
+        chk::SimLockGuard g(shared_mu_);
+        score_counters_.inc("mask_updates");
+      }
+      process_link_record(r, LinkRecord{r, static_cast<std::uint32_t>(
+                                               deg | blk),
+                                        ++ctl.link_version});
+    }
+    // Flush the pending link-state floods as one batched frame per live
+    // neighbour. Coalescing to the tick bounds the fan-out at six frames
+    // per node per period no matter how hard the records churn — the
+    // re-flood must never become the congestion it is reporting on.
+    if (ctl.ls_any) {
+      ctl.ls_any = false;
+      std::vector<LinkRecord> batch;
+      for (topo::Rank q = 0; q < cluster_.size(); ++q) {
+        if (ctl.ls_pending[idx(q)] == 0) continue;
+        ctl.ls_pending[idx(q)] = 0;
+        batch.push_back(
+            LinkRecord{q,
+                       static_cast<std::uint32_t>(remote_degraded_[idx(r)][idx(q)]),
+                       link_seen_[idx(r)][idx(q)]});
+      }
+      constexpr std::size_t kLsBatch = 64;  // 16 B/record — stays under MTU
+      for (std::size_t off = 0; off < batch.size(); off += kLsBatch) {
+        const std::size_t cnt = std::min(kLsBatch, batch.size() - off);
+        const std::vector<LinkRecord> chunk(
+            batch.begin() + static_cast<std::ptrdiff_t>(off),
+            batch.begin() + static_cast<std::ptrdiff_t>(off + cnt));
+        for (topo::Dir d : t.directions(t.coord(r))) {
+          const auto n = t.neighbor(r, d);
+          if (!n) continue;
+          if (views_[idx(r)].at(*n).state == Liveness::kDead) continue;
+          ag.send_control(*n, via::MsgKind::kLinkState,
+                          buf::Pool::instance().adopt(encode_links(chunk)));
+        }
+      }
+    }
+    if (ctl.routes_dirty) {
+      ctl.routes_dirty = false;
+      refresh_routes(r);
+    }
   }
+}
+
+double ClusterLifecycle::phi_level(const NodeCtl& ctl, int dir_index,
+                                   sim::Duration silent) const {
+  const DirHealth& dh = ctl.dirs[static_cast<std::size_t>(dir_index)];
+  // Exponential-arrival phi: phi(t) = -log10 P(silence >= t) = t / (mean *
+  // ln 10). The mean never drops below the configured period — two probes
+  // landing the same tick must not tighten the detector below its design
+  // cadence — but a lossy link stretching real arrivals loosens it.
+  double mean = static_cast<double>(params_.heartbeat_period);
+  if (dh.nwin > 0) {
+    double sum = 0;
+    for (std::size_t i = 0; i < dh.nwin; ++i) {
+      sum += static_cast<double>(dh.window[i]);
+    }
+    mean = std::max(mean, sum / static_cast<double>(dh.nwin));
+  }
+  return 0.43429448190325176 * static_cast<double>(silent) / mean;
+}
+
+double ClusterLifecycle::phi(topo::Rank r, topo::Dir d) const {
+  const auto n = cluster_.torus().neighbor(r, d);
+  if (!n) return 0;
+  const NodeCtl& ctl = ctl_[idx(r)];
+  const sim::Duration silent =
+      cluster_.engine().now() - ctl.last_heard[idx(*n)];
+  return phi_level(ctl, d.index(), silent);
+}
+
+std::optional<topo::Dir> ClusterLifecycle::dir_toward(topo::Rank from,
+                                                      topo::Rank to) const {
+  const topo::Torus& t = cluster_.torus();
+  for (topo::Dir d : t.directions(t.coord(from))) {
+    const auto n = t.neighbor(from, d);
+    if (n && *n == to) return d;
+  }
+  return std::nullopt;
 }
 
 // -- rejoin handshake -------------------------------------------------------
@@ -215,11 +387,99 @@ sim::Task<> ClusterLifecycle::rejoin(topo::Rank r, std::uint64_t gen) {
 
 // -- membership plumbing ----------------------------------------------------
 
-void ClusterLifecycle::on_heartbeat(topo::Rank observer, topo::Rank src) {
-  ctl_[idx(observer)].last_heard[idx(src)] = cluster_.engine().now();
+void ClusterLifecycle::on_heartbeat(topo::Rank observer, topo::Rank src,
+                                    const via::ViaHeader& h) {
+  const sim::Time now = cluster_.engine().now();
+  NodeCtl& ctl = ctl_[idx(observer)];
+  if (h.msg_id != 0) {
+    if (const auto d = dir_toward(observer, src)) {
+      DirHealth& dh = ctl.dirs[static_cast<std::size_t>(d->index())];
+      if (h.msg_id == dh.last_probe_msg) {
+        // A flaky wire duplicated the probe frame in flight; the first
+        // arrival already fed the window and was acked.
+        chk::SimLockGuard g(shared_mu_);
+        phi_counters_.inc("dup_probes_ignored");
+        return;
+      }
+      dh.last_probe_msg = h.msg_id;
+      if (dh.last_arrival >= 0) {
+        dh.window[dh.wpos] = now - dh.last_arrival;
+        dh.wpos = (dh.wpos + 1) % kPhiWindow;
+        if (dh.nwin < kPhiWindow) ++dh.nwin;
+      }
+      dh.last_arrival = now;
+    }
+    // Echo the probe. The ack routes normally (it may detour around a black
+    // port) and carries the probe's msg_id and send timestamp back so the
+    // prober can credit the right port with an RTT sample.
+    cluster_.agent(observer).send_control(src, via::MsgKind::kHeartbeatAck,
+                                          {}, h.immediate, h.msg_id);
+  }
+  ctl.last_heard[idx(src)] = now;
   // A heartbeat refutes suspicion directly; death needs the rejoin protocol.
   if (views_[idx(observer)].at(src).state == Liveness::kSuspect) {
+    {
+      chk::SimLockGuard g(shared_mu_);
+      phi_counters_.inc("refutations");
+    }
     declare(observer, src, Liveness::kAlive);
+  }
+}
+
+void ClusterLifecycle::on_heartbeat_ack(topo::Rank observer, topo::Rank src,
+                                        const via::ViaHeader& h) {
+  const sim::Time now = cluster_.engine().now();
+  NodeCtl& ctl = ctl_[idx(observer)];
+  const int di = static_cast<int>(h.msg_id >> 24);
+  const std::uint64_t seq = h.msg_id & 0xFFFFFFu;
+  if (seq != 0 && di < kMaxPorts) {
+    DirHealth& dh = ctl.dirs[static_cast<std::size_t>(di)];
+    if (seq > dh.probe_ack_seq) {
+      dh.probe_ack_seq = seq;
+      quality_[idx(observer)].on_probe_ack(
+          di, now - static_cast<sim::Time>(h.immediate));
+    }
+  }
+  // The ack is proof of life even when it detoured around a black port —
+  // this is what keeps a one-directionally severed neighbour suspected but
+  // never condemned.
+  ctl.last_heard[idx(src)] = now;
+  if (views_[idx(observer)].at(src).state == Liveness::kSuspect) {
+    {
+      chk::SimLockGuard g(shared_mu_);
+      phi_counters_.inc("refutations");
+    }
+    declare(observer, src, Liveness::kAlive);
+  }
+}
+
+void ClusterLifecycle::on_linkstate_frame(topo::Rank observer,
+                                          const std::byte* data,
+                                          std::size_t bytes) {
+  for (const LinkRecord& rec : decode_links(data, bytes)) {
+    process_link_record(observer, rec);
+  }
+}
+
+void ClusterLifecycle::process_link_record(topo::Rank observer,
+                                           const LinkRecord& rec) {
+  if (rec.rank < 0 || rec.rank >= cluster_.size()) return;
+  std::uint64_t& seen = link_seen_[idx(observer)][idx(rec.rank)];
+  if (rec.version <= seen) return;  // stale — the flood terminates here
+  seen = rec.version;
+  remote_degraded_[idx(observer)][idx(rec.rank)] =
+      static_cast<topo::DirMask>(rec.mask);
+  // Both the route recompute and the re-flood are deferred to the next
+  // monitor tick (routes_dirty / ls_pending): a storm of applied records
+  // coalesces into one recompute and one batched flood per period instead
+  // of a per-record fan-out that feeds the storm.
+  NodeCtl& ctl = ctl_[idx(observer)];
+  ctl.routes_dirty = true;
+  ctl.ls_pending[idx(rec.rank)] = 1;
+  ctl.ls_any = true;
+  {
+    chk::SimLockGuard g(shared_mu_);
+    score_counters_.inc("linkstate_applied");
   }
 }
 
@@ -247,6 +507,7 @@ void ClusterLifecycle::process_record(topo::Rank observer,
   if (!view.apply(rec)) return;  // stale — flood terminates here
   const Liveness to = rec.st.state;
   const sim::Time now = cluster_.engine().now();
+  ctl_[idx(observer)].last_member_news = now;
   via::KernelAgent& ag = cluster_.agent(observer);
 
   if (observer != rec.rank && rec.st.incarnation > prev_st.incarnation) {
@@ -306,11 +567,22 @@ void ClusterLifecycle::process_record(topo::Rank observer,
 
 void ClusterLifecycle::refresh_routes(topo::Rank observer) {
   const std::vector<bool> dead = views_[idx(observer)].dead_set();
-  bool any = false;
-  for (const bool b : dead) any = any || b;
+  bool any_dead = false;
+  for (const bool b : dead) any_dead = any_dead || b;
+  const std::vector<topo::DirMask>& degraded = remote_degraded_[idx(observer)];
+  bool any_deg = false;
+  for (const topo::DirMask m : degraded) any_deg = any_deg || m != 0;
   via::KernelAgent& ag = cluster_.agent(observer);
-  if (!any) {
+  if (!any_dead && !any_deg) {
     ag.clear_route_table();
+  } else if (any_deg) {
+    // Quality-aware table: among minimal paths, dodge links whose owners
+    // flooded them as degraded/black. Keyed into the shared cache by the
+    // full (dead set, degraded-mask map) identity.
+    ag.set_route_table(
+        route_cache_.get(cluster_.torus(), observer, dead, degraded));
+    chk::SimLockGuard g(shared_mu_);
+    score_counters_.inc("quality_route_refreshes");
   } else {
     // Shared cache: during partition/heal storms many nodes pass through
     // identical dead sets, and BFS route tables are the hot part.

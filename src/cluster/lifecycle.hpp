@@ -6,11 +6,30 @@
 //
 // Every node runs two detector coroutines: a heartbeat loop that probes each
 // mesh neighbour with an unreliable kHeartbeat control frame per period, and
-// a monitor loop that turns silence into kSuspect after `suspect_after` and
-// kDead after `dead_after`. Transitions are flooded as MemberRecords over
-// the surviving mesh (apply-is-news gating terminates the flood), so every
-// survivor's MembershipView converges without any central observer — there
-// is no switch, and no master, to ask.
+// a monitor loop that converts silence into suspicion with a phi-accrual
+// failure detector: phi(t) = log10-scaled improbability of `t` ns of silence
+// given the observed inter-arrival window for that link. Suspicion crosses
+// into kSuspect at `phi_suspect` and hardens into kDead at `phi_dead`, so a
+// slow-but-alive neighbour (degraded cable, flaky PHY stretching arrival
+// intervals) raises suspicion without ever producing a false death verdict.
+// Transitions are flooded as MemberRecords over the surviving mesh
+// (apply-is-news gating terminates the flood), so every survivor's
+// MembershipView converges without any central observer — there is no
+// switch, and no master, to ask.
+//
+// Gray-failure control plane: heartbeat probes are pinned to the adapter of
+// the direction they monitor (send_control_dir) and carry a per-direction
+// sequence number plus their send timestamp; the receiver echoes both in a
+// routed kHeartbeatAck. Ack RTTs and overdue probes feed a per-port
+// net::LinkQuality (EWMA loss + latency score with hysteresis). Ports whose
+// score sinks go into the agent's degraded mask (equal-cost avoidance) or —
+// when loss approaches 1.0 despite carrier-up, the one-directional cable
+// break — the black mask (detour like a failed link, but no link_change and
+// no death: the acks that detour back are proof of life). Mask changes are
+// flooded as versioned LinkRecords (kLinkState) so every node's route table
+// can dodge remote degraded links among minimal paths
+// (Torus::route_table_avoiding, RouteTableCache keyed by dead set + the
+// full degraded-mask map).
 //
 // On a confirmed death each survivor recomputes a full BFS route table
 // around the dead coordinate (Torus::route_table_avoiding) and installs it
@@ -41,13 +60,16 @@
 // (incarnation, version, severity) flood merge converges both sides' views,
 // including any real deaths that happened behind the partition.
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "chk/thread_annotations.hpp"
 #include "cluster/gige_mesh.hpp"
 #include "cluster/membership.hpp"
+#include "net/quality.hpp"
 #include "obs/metrics.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
@@ -58,8 +80,17 @@ namespace meshmp::cluster {
 
 struct LifecycleParams {
   sim::Duration heartbeat_period = 200'000;  ///< 200 us between probes
-  sim::Duration suspect_after = 700'000;     ///< silence before kSuspect
-  sim::Duration dead_after = 2'000'000;      ///< suspicion timeout -> kDead
+  /// Phi-accrual thresholds. With a clean 200 us arrival cadence the window
+  /// mean clamps to the period, so phi = 0.4343 * silence / period:
+  /// phi_suspect fires at ~690 us of silence and phi_dead at ~1.98 ms —
+  /// deliberately calibrated to the fixed 700 us / 2 ms thresholds this
+  /// detector replaced. A lossy link stretches the observed window mean,
+  /// which stretches both thresholds proportionally: slow-but-alive raises
+  /// suspicion, never a death verdict.
+  double phi_suspect = 1.5;
+  double phi_dead = 4.3;
+  /// Per-port link-quality scoring knobs (EWMA, hysteresis thresholds).
+  net::QualityParams quality{};
 };
 
 class ClusterLifecycle {
@@ -109,12 +140,76 @@ class ClusterLifecycle {
     return counters_;
   }
 
+  // -- gray-failure introspection ------------------------------------------
+  /// Current phi suspicion level rank `r` holds for its neighbour in
+  /// direction `d` (0 for an edge with no neighbour).
+  [[nodiscard]] double phi(topo::Rank r, topo::Dir d) const;
+  /// Rank `r`'s local per-port link-quality tracker.
+  [[nodiscard]] const net::LinkQuality& link_quality(topo::Rank r) const {
+    return quality_.at(idx_(r));
+  }
+  /// `observer`'s current belief of `subject`'s degraded|black egress mask
+  /// (converged via the kLinkState flood).
+  [[nodiscard]] topo::DirMask degraded_belief(topo::Rank observer,
+                                              topo::Rank subject) const {
+    return remote_degraded_.at(idx_(observer)).at(idx_(subject));
+  }
+  /// "cluster.phi.*" — suspicion/refutation bookkeeping.
+  [[nodiscard]] const obs::Counters& phi_counters() const noexcept {
+    return phi_counters_;
+  }
+  /// "net.link.score.*" — quality-mask and link-state-flood bookkeeping.
+  [[nodiscard]] const obs::Counters& score_counters() const noexcept {
+    return score_counters_;
+  }
+
  private:
+  /// Inter-arrival samples retained per monitored direction.
+  static constexpr std::size_t kPhiWindow = 16;
+  static constexpr int kMaxPorts = 2 * topo::kMaxDims;
+
+  /// Per-direction probe and arrival bookkeeping (the phi detector's input).
+  struct DirHealth {
+    std::uint64_t probe_seq = 0;      ///< probes pinned out this direction
+    std::uint64_t probe_ack_seq = 0;  ///< highest probe seq echoed back
+    /// probe_seq snapshots from the previous and the one-before monitor
+    /// ticks: only probes at least two full ticks old may be sampled as
+    /// overdue. A healthy ack takes microseconds, but a membership flood
+    /// storm (partition onset) can queue one behind a full tick of control
+    /// frames — congestion must not read as a sick cable.
+    std::uint64_t seq_at_last_tick = 0;
+    std::uint64_t seq_two_ticks_ago = 0;
+    std::uint64_t timeout_checked = 0;  ///< last seq sampled as overdue
+    std::uint32_t last_probe_msg = 0;   ///< dedup for wire-duplicated probes
+    sim::Time last_arrival = -1;
+    std::array<sim::Duration, kPhiWindow> window{};  ///< inter-arrival ring
+    std::size_t nwin = 0;
+    std::size_t wpos = 0;
+  };
+
   struct NodeCtl {
     std::vector<sim::Time> last_heard;  ///< by rank; only neighbours used
     std::uint64_t gen = 0;  ///< bumped on crash/restart to retire old loops
     /// Highest kReconcile wave generation seen; the flood-termination gate.
     std::uint64_t reconcile_gen = 0;
+    std::array<DirHealth, kMaxPorts> dirs{};
+    /// Monotone origination counter for this node's LinkRecords. Survives
+    /// restart so post-rejoin floods outrank partition-era echoes.
+    std::uint64_t link_version = 0;
+    /// Set when a LinkRecord applied; serviced (route refresh) at the next
+    /// monitor tick so flood storms coalesce into one recompute.
+    bool routes_dirty = false;
+    /// When the last membership record applied as news. A flood storm
+    /// (suspect wave, death wave, heal reconciliation) saturates the wire
+    /// with control frames; probe-timeout sampling pauses while news is
+    /// still landing so storm queueing never reads as cable loss.
+    sim::Time last_member_news = -1;
+    /// Ranks whose freshly-applied LinkRecords still need re-flooding.
+    /// Flushed as one batched frame per neighbour at the next monitor tick:
+    /// synchronous per-record fan-out would amplify a mask-flip storm into
+    /// the very congestion that flipped the masks.
+    std::vector<std::uint8_t> ls_pending;
+    bool ls_any = false;
   };
 
   static std::size_t idx_(topo::Rank r) {
@@ -130,9 +225,24 @@ class ClusterLifecycle {
   sim::Task<> drain_completions(via::Vi& vi);
   sim::Task<> rejoin(topo::Rank r, std::uint64_t gen);
 
-  void on_heartbeat(topo::Rank observer, topo::Rank src);
+  void on_heartbeat(topo::Rank observer, topo::Rank src,
+                    const via::ViaHeader& h);
+  void on_heartbeat_ack(topo::Rank observer, topo::Rank src,
+                        const via::ViaHeader& h);
   void on_membership_frame(topo::Rank observer, const std::byte* data,
                            std::size_t bytes);
+  void on_linkstate_frame(topo::Rank observer, const std::byte* data,
+                          std::size_t bytes);
+  /// Applies a link-quality record iff its version is news for (observer,
+  /// subject), marks routes dirty, and re-floods — the kLinkState analogue
+  /// of process_record.
+  void process_link_record(topo::Rank observer, const LinkRecord& rec);
+  /// phi for `silent` ns of silence given dir `dir_index`'s arrival window.
+  [[nodiscard]] double phi_level(const NodeCtl& ctl, int dir_index,
+                                 sim::Duration silent) const;
+  /// The direction from `from` toward direct neighbour `to`, if any.
+  [[nodiscard]] std::optional<topo::Dir> dir_toward(topo::Rank from,
+                                                    topo::Rank to) const;
   /// Authors a transition about `subject` as seen by `observer` and runs it
   /// through the same apply/react/flood path as received news.
   void declare(topo::Rank observer, topo::Rank subject, Liveness to);
@@ -189,6 +299,23 @@ class ClusterLifecycle {
   obs::Registry::Registration counters_reg_;
   obs::Histogram& partition_duration_hist_;  ///< minority entry -> primary, ns
   obs::Histogram& heal_conv_hist_;  ///< heal evidence -> dead-free view, ns
+
+  // -- gray-failure state ---------------------------------------------------
+  /// Per-node port-quality trackers; only touched from the owning rank's LP.
+  std::vector<net::LinkQuality> quality_;
+  /// link_seen_[observer][subject]: highest LinkRecord version applied — the
+  /// kLinkState flood-termination gate, per (observer, subject).
+  std::vector<std::vector<std::uint64_t>> link_seen_;
+  /// remote_degraded_[observer][subject]: observer's belief of subject's
+  /// degraded|black egress mask; the `degraded` input to route recompute.
+  std::vector<std::vector<topo::DirMask>> remote_degraded_;
+  /// "cluster.phi.*" / "net.link.score.*" — inc'd under shared_mu_ like the
+  /// partition counters; accessors stay lock-free (host reads between runs).
+  obs::Counters phi_counters_;
+  obs::Registry::Registration phi_reg_;
+  obs::Counters score_counters_;
+  obs::Registry::Registration score_reg_;
+  obs::Histogram& phi_suspect_hist_;  ///< phi * 1000 at suspect declarations
 };
 
 }  // namespace meshmp::cluster

@@ -83,6 +83,40 @@ std::vector<std::byte> MembershipView::encode(
   return out;
 }
 
+std::vector<std::byte> encode_links(const std::vector<LinkRecord>& recs) {
+  std::vector<std::byte> out(recs.size() * kLinkRecordBytes);
+  std::byte* p = out.data();
+  for (const LinkRecord& rec : recs) {
+    const auto rank = static_cast<std::int32_t>(rec.rank);
+    // meshmp-lint: host-copy(link-state record codec; control traffic bills
+    // lump per-frame host costs, not per-byte copies)
+    std::memcpy(p, &rank, 4);
+    std::memcpy(p + 4, &rec.mask, 4);
+    std::memcpy(p + 8, &rec.version, 8);
+    p += kLinkRecordBytes;
+  }
+  return out;
+}
+
+std::vector<LinkRecord> decode_links(const std::byte* data,
+                                     std::size_t bytes) {
+  std::vector<LinkRecord> recs;
+  recs.reserve(bytes / kLinkRecordBytes);
+  for (std::size_t off = 0; off + kLinkRecordBytes <= bytes;
+       off += kLinkRecordBytes) {
+    const std::byte* p = data + off;
+    LinkRecord rec;
+    std::int32_t rank = 0;
+    // meshmp-lint: host-copy(link-state record decode; see encode above)
+    std::memcpy(&rank, p, 4);
+    std::memcpy(&rec.mask, p + 4, 4);
+    std::memcpy(&rec.version, p + 8, 8);
+    rec.rank = rank;
+    recs.push_back(rec);
+  }
+  return recs;
+}
+
 QuorumSide quorum_side(const MembershipView& v) {
   const topo::Rank n = v.size();
   int live = 0;

@@ -93,6 +93,25 @@ class MembershipView {
   std::vector<MemberState> states_;
 };
 
+/// One flooded unit of link-quality news (gray-failure control plane): the
+/// degraded-direction mask `rank` currently advertises for its own ports.
+/// Versions are monotone per rank; apply-is-news gating in the lifecycle
+/// terminates the kLinkState flood exactly like membership records.
+struct LinkRecord {
+  topo::Rank rank = 0;
+  /// Degraded egress directions at `rank` (bit = topo::Dir::index()).
+  std::uint32_t mask = 0;
+  std::uint64_t version = 0;
+};
+
+/// Wire encoding for kLinkState flood frames: 16 bytes per record
+/// (rank i32 | mask u32 | version u64, little-endian).
+constexpr std::size_t kLinkRecordBytes = 16;
+[[nodiscard]] std::vector<std::byte> encode_links(
+    const std::vector<LinkRecord>& recs);
+[[nodiscard]] std::vector<LinkRecord> decode_links(const std::byte* data,
+                                                   std::size_t bytes);
+
 /// Which side of a split machine a view places its holder on. Derived
 /// purely from the view, so disjoint converged views classify themselves
 /// without any cross-partition communication.

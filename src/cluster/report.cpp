@@ -24,6 +24,7 @@ ClusterReport make_report(GigeMeshCluster& cluster) {
       r.ring_drops += c.get("rx_ring_full") + c.get("tx_ring_full");
       r.carrier_drops +=
           c.get("carrier_dropped") + c.get("carrier_rx_dropped");
+      r.asym_carrier_drops += c.get("asym_dropped");
     }
     auto& agent = cluster.agent(rank);
     const auto& ac = agent.counters();
@@ -38,11 +39,13 @@ ClusterReport make_report(GigeMeshCluster& cluster) {
     r.table_routed_frames += ac.get("table_routed_frames");
     r.partition_flushes += ac.get("partition_flushes");
     r.minority_refusals += ac.get("conn_minority_refused");
+    r.degraded_avoided += ac.get("degraded_avoided");
     for (std::uint32_t v = 0;
          v < static_cast<std::uint32_t>(agent.vi_count()); ++v) {
       const auto& vc = agent.vi(v).counters();
       r.retransmits += vc.get("retransmits");
       r.duplicate_discards += vc.get("rx_out_of_order");
+      r.dup_frame_discards += vc.get("rx_dup_frames");
     }
   }
   r.avg_cpu_utilization /= static_cast<double>(cluster.size());
@@ -64,7 +67,9 @@ std::string ClusterReport::str() const {
       "%lld VI failures\n"
       "node lifecycle      : %lld crashes, %lld restarts, %lld stale-epoch, "
       "%lld table-routed\n"
-      "partition tolerance : %lld flushes, %lld minority-refusals\n",
+      "partition tolerance : %lld flushes, %lld minority-refusals\n"
+      "gray failures       : %lld asym-drops, %lld dup-discards, "
+      "%lld degraded-avoided\n",
       sim_seconds, avg_cpu_utilization * 100, max_cpu_utilization * 100,
       static_cast<long long>(tx_frames), static_cast<long long>(rx_frames),
       static_cast<long long>(forwarded_frames),
@@ -84,7 +89,10 @@ std::string ClusterReport::str() const {
       static_cast<long long>(stale_epoch_drops),
       static_cast<long long>(table_routed_frames),
       static_cast<long long>(partition_flushes),
-      static_cast<long long>(minority_refusals));
+      static_cast<long long>(minority_refusals),
+      static_cast<long long>(asym_carrier_drops),
+      static_cast<long long>(dup_frame_discards),
+      static_cast<long long>(degraded_avoided));
   return buf;
 }
 

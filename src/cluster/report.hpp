@@ -37,6 +37,9 @@ struct ClusterReport {
   std::int64_t table_routed_frames = 0;  ///< frames sent via a degraded table
   std::int64_t partition_flushes = 0;    ///< epoch-bumping VI flushes on heal
   std::int64_t minority_refusals = 0;    ///< dials/sends refused on minority
+  std::int64_t asym_carrier_drops = 0;   ///< frames eaten by a one-way cable
+  std::int64_t dup_frame_discards = 0;   ///< exact-duplicate frames dropped
+  std::int64_t degraded_avoided = 0;     ///< frames steered off a sick link
 
   /// Full metrics-registry view at snapshot time: every live counter group
   /// plus latency/size histogram summaries (p50/p95/p99). The scalar fields

@@ -45,9 +45,23 @@ const char* kind_name(FaultEvent::Kind k) {
       return "partition";
     case FaultEvent::Kind::kHeal:
       return "heal";
+    case FaultEvent::Kind::kDegradeStart:
+      return "degrade_start";
+    case FaultEvent::Kind::kDegradeStop:
+      return "degrade_stop";
+    case FaultEvent::Kind::kAsymStart:
+      return "asym_start";
+    case FaultEvent::Kind::kAsymStop:
+      return "asym_stop";
+    case FaultEvent::Kind::kFlakyStart:
+      return "flaky_start";
+    case FaultEvent::Kind::kFlakyStop:
+      return "flaky_stop";
   }
   return "?";
 }
+
+bool valid_prob(double p) { return p >= 0 && p <= 1; }
 
 /// What the event acts on, for error messages: a node, a (node, dir) port,
 /// a partition spec, or (for heal) whatever partitions are open.
@@ -90,7 +104,10 @@ void fmt_target(char* out, std::size_t n, const FaultEvent& ev,
 }  // namespace
 
 Injector::Injector(cluster::GigeMeshCluster& cluster, Schedule schedule)
-    : cluster_(cluster), schedule_(std::move(schedule)) {
+    : cluster_(cluster),
+      schedule_(std::move(schedule)),
+      gray_reg_(obs::Registry::instance().attach("flt.gray",
+                                                 &gray_counters_)) {
   validate();
   // Expand every partition spec into its concrete cable list once, against
   // the validated torus, so apply() cuts a fixed deterministic set.
@@ -211,6 +228,40 @@ void Injector::validate() const {
       case FaultEvent::Kind::kStallStop:
         close_window(i, ev, 3);
         break;
+      case FaultEvent::Kind::kDegradeStart:
+        if (ev.bw_fraction <= 0 || ev.bw_fraction > 1) {
+          reject(i, ev, nullptr, "bandwidth fraction must be in (0, 1]");
+        }
+        if (ev.add_latency < 0) {
+          reject(i, ev, nullptr, "added latency must be >= 0");
+        }
+        if (ev.add_latency == 0 && ev.bw_fraction == 1) {
+          reject(i, ev, nullptr, "degrade window with no effect");
+        }
+        open_window(i, ev, 4);
+        break;
+      case FaultEvent::Kind::kDegradeStop:
+        close_window(i, ev, 4);
+        break;
+      case FaultEvent::Kind::kAsymStart:
+        open_window(i, ev, 5);
+        break;
+      case FaultEvent::Kind::kAsymStop:
+        close_window(i, ev, 5);
+        break;
+      case FaultEvent::Kind::kFlakyStart:
+        if (!valid_prob(ev.prob) || !valid_prob(ev.dup_prob) ||
+            !valid_prob(ev.reorder_prob)) {
+          reject(i, ev, nullptr, "flaky probabilities must be in [0, 1]");
+        }
+        if (ev.prob == 0 && ev.dup_prob == 0 && ev.reorder_prob == 0) {
+          reject(i, ev, nullptr, "flaky window with no effect");
+        }
+        open_window(i, ev, 6);
+        break;
+      case FaultEvent::Kind::kFlakyStop:
+        close_window(i, ev, 6);
+        break;
       case FaultEvent::Kind::kNodeCrash: {
         auto [it, fresh] = down_since.emplace(ev.node, ev.at);
         if (!fresh && it->second >= 0) {
@@ -328,6 +379,66 @@ void Injector::apply(const FaultEvent& ev) {
     case FaultEvent::Kind::kStallStop:
       nic.set_stalled(false);
       break;
+    case FaultEvent::Kind::kDegradeStart: {
+      // A failing cable degrades both directions; apply to the tx params of
+      // the adapters on both ends. Propagation only ever *increases* here,
+      // which keeps the cross-LP lookahead (= nominal propagation) sound.
+      const auto degrade_port = [&](topo::Rank node, topo::Dir dir) {
+        net::LinkParams& w = cluster_.nic(node, dir).wire_params();
+        saved_wire_.emplace(port_key(node, dir),
+                            std::make_pair(w.bytes_per_sec, w.propagation));
+        w.bytes_per_sec *= ev.bw_fraction;
+        w.propagation += ev.add_latency;
+      };
+      const auto peer = cluster_.torus().neighbor(ev.node, ev.dir);
+      degrade_port(ev.node, ev.dir);
+      degrade_port(*peer, ev.dir.opposite());
+      counters_.inc("degrades");
+      gray_counters_.inc("degrade_windows");
+      break;
+    }
+    case FaultEvent::Kind::kDegradeStop: {
+      const auto restore_port = [&](topo::Rank node, topo::Dir dir) {
+        auto it = saved_wire_.find(port_key(node, dir));
+        if (it == saved_wire_.end()) return;
+        net::LinkParams& w = cluster_.nic(node, dir).wire_params();
+        w.bytes_per_sec = it->second.first;
+        w.propagation = it->second.second;
+        saved_wire_.erase(it);
+      };
+      const auto peer = cluster_.torus().neighbor(ev.node, ev.dir);
+      restore_port(ev.node, ev.dir);
+      restore_port(*peer, ev.dir.opposite());
+      break;
+    }
+    case FaultEvent::Kind::kAsymStart:
+      nic.set_tx_severed(true);
+      counters_.inc("asym_severs");
+      gray_counters_.inc("asym_windows");
+      break;
+    case FaultEvent::Kind::kAsymStop:
+      nic.set_tx_severed(false);
+      break;
+    case FaultEvent::Kind::kFlakyStart: {
+      net::LinkParams& w = nic.wire_params();
+      saved_flaky_.emplace(
+          key, std::array<double, 3>{w.drop_prob, w.dup_prob, w.reorder_prob});
+      w.drop_prob = ev.prob;
+      w.dup_prob = ev.dup_prob;
+      w.reorder_prob = ev.reorder_prob;
+      counters_.inc("flaky_bursts");
+      gray_counters_.inc("flaky_windows");
+      break;
+    }
+    case FaultEvent::Kind::kFlakyStop: {
+      auto it = saved_flaky_.find(key);
+      net::LinkParams& w = nic.wire_params();
+      w.drop_prob = it != saved_flaky_.end() ? it->second[0] : 0;
+      w.dup_prob = it != saved_flaky_.end() ? it->second[1] : 0;
+      w.reorder_prob = it != saved_flaky_.end() ? it->second[2] : 0;
+      if (it != saved_flaky_.end()) saved_flaky_.erase(it);
+      break;
+    }
     case FaultEvent::Kind::kNodeCrash:
     case FaultEvent::Kind::kNodeRestart:
     case FaultEvent::Kind::kPartition:

@@ -10,12 +10,14 @@
 // as reproducible as a clean one and composes with the run-twice determinism
 // checker: rebuild the scenario, replay the same schedule, compare digests.
 
+#include <array>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "chk/flat_map.hpp"
 #include "cluster/gige_mesh.hpp"
+#include "obs/metrics.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
 #include "topo/torus.hpp"
@@ -40,13 +42,26 @@ struct FaultEvent {
     kNodeRestart,  ///< cold start of a previously crashed node; dir unused
     kPartition,    ///< cut every link of a PartitionSpec; node/dir unused
     kHeal,         ///< restore every link cut by prior partitions
+    // Gray failures: the link stays "up" as far as carrier sense goes but
+    // misbehaves — degraded, one-directional, or flaky.
+    kDegradeStart,  ///< added latency / bandwidth fraction, both directions
+    kDegradeStop,
+    kAsymStart,  ///< (node, dir) tx pairs severed; carrier stays up
+    kAsymStop,
+    kFlakyStart,  ///< probabilistic per-frame drop/duplicate/reorder
+    kFlakyStop,
   };
   Kind kind = Kind::kLinkDown;
   sim::Time at = 0;
   topo::Rank node = 0;
   topo::Dir dir{};
-  double prob = 0;    ///< loss/corrupt probability during a burst
+  double prob = 0;    ///< loss/corrupt/flaky-drop probability during a burst
   std::int32_t spec = -1;  ///< kPartition: index into Schedule::partitions()
+  // Gray-failure parameters (kDegradeStart / kFlakyStart only).
+  double dup_prob = 0;      ///< kFlakyStart: per-frame duplicate probability
+  double reorder_prob = 0;  ///< kFlakyStart: per-frame reorder probability
+  sim::Duration add_latency = 0;  ///< kDegradeStart: extra propagation (>= 0)
+  double bw_fraction = 1.0;       ///< kDegradeStart: line-rate multiplier
 };
 
 /// The deterministic link set a kPartition event cuts: either a full
@@ -137,6 +152,38 @@ class Schedule {
     partition_plane(at, dim, cut);
     return heal(at + down_for);
   }
+  /// Gray link degradation (failing cable / renegotiated PHY): both
+  /// directions of the (node, dir) cable gain `add_latency` propagation and
+  /// run at `bw_fraction` of line rate during [at, at+dur). Carrier never
+  /// drops — only the phi detector and link-quality scores can see this.
+  Schedule& link_degrade(sim::Time at, sim::Duration dur, topo::Rank node,
+                         topo::Dir dir, sim::Duration add_latency,
+                         double bw_fraction) {
+    FaultEvent ev{FaultEvent::Kind::kDegradeStart, at, node, dir, 0};
+    ev.add_latency = add_latency;
+    ev.bw_fraction = bw_fraction;
+    add(ev);
+    return add({FaultEvent::Kind::kDegradeStop, at + dur, node, dir, 0});
+  }
+  /// One-directional cable break during [at, at+dur): (node, dir)'s transmit
+  /// pairs die but its receive pairs — and the carrier at both ends — stay
+  /// up, so neither driver gets a link-status interrupt.
+  Schedule& link_asymmetric(sim::Time at, sim::Duration dur, topo::Rank node,
+                            topo::Dir dir) {
+    add({FaultEvent::Kind::kAsymStart, at, node, dir, 0});
+    return add({FaultEvent::Kind::kAsymStop, at + dur, node, dir, 0});
+  }
+  /// Flaky NIC burst: per-frame drop / duplicate / reorder probabilities on
+  /// (node, dir) transmit during [at, at+dur). All randomness comes from the
+  /// NIC's deterministic per-port PRNG.
+  Schedule& nic_flaky(sim::Time at, sim::Duration dur, topo::Rank node,
+                      topo::Dir dir, double drop, double dup, double reorder) {
+    FaultEvent ev{FaultEvent::Kind::kFlakyStart, at, node, dir, drop};
+    ev.dup_prob = dup;
+    ev.reorder_prob = reorder;
+    add(ev);
+    return add({FaultEvent::Kind::kFlakyStop, at + dur, node, dir, 0});
+  }
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
     return events_;
@@ -197,12 +244,20 @@ class Injector {
   // fault state must never introduce hash-order nondeterminism.
   chk::FlatMap<std::uint64_t, double> saved_drop_;
   chk::FlatMap<std::uint64_t, double> saved_corrupt_;
+  // Pre-degrade (bytes_per_sec, propagation) per port and pre-flaky
+  // (drop, dup, reorder) probabilities per port.
+  chk::FlatMap<std::uint64_t, std::pair<double, sim::Duration>> saved_wire_;
+  chk::FlatMap<std::uint64_t, std::array<double, 3>> saved_flaky_;
   // Per-PartitionSpec cable lists, expanded once against the cluster torus
   // at arm time so kPartition/kHeal apply a fixed, validated set.
   std::vector<std::vector<std::pair<topo::Rank, topo::Dir>>> partition_links_;
   // Cables currently cut by partitions, restored (and cleared) by kHeal.
   std::vector<std::pair<topo::Rank, topo::Dir>> cut_links_;
   sim::Counters counters_;
+  // Gray-failure window counters, exported as flt.gray.* (zero — and thus
+  // absent from snapshots — unless a schedule actually arms gray faults).
+  sim::Counters gray_counters_;
+  obs::Registry::Registration gray_reg_;
 };
 
 }  // namespace meshmp::flt

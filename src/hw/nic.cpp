@@ -194,6 +194,13 @@ sim::Task<> Nic::wire_pump() {
     while (stalled_) co_await stall_cleared_.next();
     co_await sim::delay(cpu_.engine(), wire_time(f.wire_bytes));
     tx_fifo_slots_.release();
+    if (tx_severed_) {
+      // Gray cable: only the transmit pairs are broken, so the PHY never
+      // loses link and the driver is never told — the frame just vanishes.
+      counters_.inc("asym_dropped");
+      MESHMP_TRACE_INSTANT(cpu_.engine(), obs::Cat::kNic, node_, "asym_drop");
+      continue;
+    }
     if (!carrier_) {
       // Dead cable: the PHY clocks the frame out into nothing.
       counters_.inc("carrier_dropped");
@@ -211,12 +218,33 @@ sim::Task<> Nic::wire_pump() {
       f.corrupt_payload_byte(rng_.below(f.payload.size()), std::byte{0x08});
       counters_.inc("wire_corrupted");
     }
+    sim::Duration extra = 0;
+    if (wire_.reorder_prob > 0 && rng_.bernoulli(wire_.reorder_prob)) {
+      // Flaky PHY holds the frame in its elastic buffer: it lands behind
+      // younger traffic. The extra delay only ever adds to propagation, so
+      // the conservative lookahead (= propagation) stays sound.
+      extra = wire_.reorder_delay;
+      counters_.inc("wire_reordered");
+      MESHMP_TRACE_INSTANT(cpu_.engine(), obs::Cat::kNic, node_,
+                           "wire_reorder");
+    }
     assert(peer_ && "Nic: no peer attached");
+    if (wire_.dup_prob > 0 && rng_.bernoulli(wire_.dup_prob)) {
+      // Flaky PHY retransmit: the peer sees the same frame twice and the
+      // receive path must dedup it.
+      net::Frame dup = f;
+      counters_.inc("wire_duplicated");
+      MESHMP_TRACE_INSTANT(cpu_.engine(), obs::Cat::kNic, node_, "wire_dup");
+      cpu_.engine().schedule_to(
+          peer_lp_, wire_.propagation + extra,
+          [this, dup = std::move(dup)]() mutable { peer_(std::move(dup)); },
+          "wire");
+    }
     // Propagation is the cross-LP seam: the peer NIC lives on its own
     // logical process, and the cable delay is the engine's lookahead, so
     // this hop is what makes the conservative window sound.
     cpu_.engine().schedule_to(
-        peer_lp_, wire_.propagation,
+        peer_lp_, wire_.propagation + extra,
         [this, f = std::move(f)]() mutable { peer_(std::move(f)); }, "wire");
   }
 }

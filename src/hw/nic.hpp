@@ -120,6 +120,15 @@ class Nic {
   void set_stalled(bool stalled);
   [[nodiscard]] bool stalled() const noexcept { return stalled_; }
 
+  /// One-directional (gray) cable break: this adapter's transmit pairs are
+  /// severed but the receive pairs still train, so the carrier stays up and
+  /// the driver gets NO link-status interrupt — frames silently vanish at
+  /// the PHY (counted as "asym_dropped"). The far end keeps transmitting
+  /// into a healthy receive path. Fault schedules toggle this on one cable
+  /// end only; it composes independently with carrier and power state.
+  void set_tx_severed(bool severed) { tx_severed_ = severed; }
+  [[nodiscard]] bool tx_severed() const noexcept { return tx_severed_; }
+
   /// Whole-node power failure: carrier drops, every queued descriptor and
   /// FIFO/qdisc frame is discarded (in-flight DMA data vanishes with the
   /// adapter's SRAM), and new tx/rx is blackholed until power_on(). The pump
@@ -188,6 +197,7 @@ class Nic {
 
   bool carrier_ = true;
   bool stalled_ = false;
+  bool tx_severed_ = false;
   bool powered_ = true;
   sim::Signal stall_cleared_;
 

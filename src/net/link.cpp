@@ -47,8 +47,23 @@ sim::Task<> SimplexPipe::pump() {
       counters_.inc("corrupted");
     }
     assert(sink_ && "SimplexPipe: no sink attached");
+    sim::Duration extra = 0;
+    if (params_.reorder_prob > 0 && rng_.bernoulli(params_.reorder_prob)) {
+      // Held back in the PHY elastic buffer: arrives behind younger frames.
+      extra = params_.reorder_delay;
+      counters_.inc("reordered");
+    }
+    if (params_.dup_prob > 0 && rng_.bernoulli(params_.dup_prob)) {
+      // Flaky retransmitting PHY: the far end sees the frame twice.
+      Frame dup = f;
+      counters_.inc("duplicated");
+      eng_.schedule_to(
+          sink_lp_, params_.propagation + extra,
+          [this, dup = std::move(dup)]() mutable { sink_(std::move(dup)); },
+          "wire");
+    }
     eng_.schedule_to(
-        sink_lp_, params_.propagation,
+        sink_lp_, params_.propagation + extra,
         [this, f = std::move(f)]() mutable { sink_(std::move(f)); }, "wire");
   }
 }

@@ -32,6 +32,15 @@ struct LinkParams {
   /// Fault injection probabilities per frame.
   double drop_prob = 0.0;
   double corrupt_prob = 0.0;
+  /// Gray-failure (flaky PHY) probabilities per frame: duplicate delivers the
+  /// frame twice, reorder holds one copy back by `reorder_delay` so it lands
+  /// behind younger traffic. Both draw from the pipe's deterministic RNG and
+  /// burn zero draws while the probability is 0.
+  double dup_prob = 0.0;
+  double reorder_prob = 0.0;
+  /// Extra propagation applied to a reordered frame (always >= 0: added
+  /// latency keeps the cross-LP lookahead sound, shaving it would not).
+  sim::Duration reorder_delay = 20'000;  // ns
 };
 
 class SimplexPipe {

@@ -1,0 +1,173 @@
+#pragma once
+
+// Per-link quality scoring for gray-failure detection.
+//
+// Each node keeps one LinkQuality tracking every local port: an EWMA of
+// observed probe round-trip latency and an EWMA of loss events (probe
+// timeouts, attributed retransmits, explicit drops) combine into a score in
+// [0, 1] per direction. 1 means healthy; a degraded link (added latency,
+// squeezed bandwidth, flaky PHY) sinks toward 0 long before — or without —
+// the carrier ever dropping.
+//
+// Scores feed two masks with hysteresis so routing does not flap:
+//  * degraded: score fell below `degrade_below`; cleared above `clear_above`.
+//    Routing prefers equal-length paths that dodge these links.
+//  * black: loss EWMA above `black_loss` — the link drops essentially
+//    everything (e.g. one-directional cable break) even though carrier sense
+//    says it is up. Egress treats these like failed links (detour allowed),
+//    but no link_change ever fires: that distinction is what keeps a gray
+//    link from being confused with a dead node.
+//
+// Everything here is driven by simulation observations only — no wall clock,
+// no RNG — so faulted runs stay bit-reproducible.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace meshmp::net {
+
+struct QualityParams {
+  /// EWMA smoothing factor per sample for both loss and latency.
+  double alpha = 0.25;
+  /// Healthy-link reference RTT: latency factor is ref_rtt / rtt_ewma,
+  /// clamped to 1, so anything at or under the reference scores cleanly.
+  /// Deliberately generous — a membership-flood storm can queue a probe ack
+  /// behind a full tick of control frames, and congestion must never read
+  /// as a sick cable (a flipped mask floods link state, which feeds the
+  /// storm that flipped it).
+  sim::Duration ref_rtt = 250'000;  // ns
+  /// Score thresholds with hysteresis for the degraded mask.
+  double degrade_below = 0.30;
+  double clear_above = 0.60;
+  /// Consecutive below-threshold evaluations required before a port is
+  /// flagged degraded — the debounce that keeps one storm-stretched RTT
+  /// sample from flipping routing.
+  int degrade_streak = 3;
+  /// Loss-EWMA thresholds with hysteresis for the black (effectively dead)
+  /// mask. No streak debounce: the EWMA itself needs ~6 consecutive lost
+  /// probes to cross, and every extra tick spent waiting runs down the
+  /// clock against the neighbour's phi death verdict (the acks that detour
+  /// once the port goes black are what refute its suspicion).
+  double black_loss = 0.80;
+  double black_clear = 0.50;
+};
+
+class LinkQuality {
+ public:
+  LinkQuality(QualityParams params, int nports)
+      : params_(params), ports_(static_cast<std::size_t>(nports)) {
+    for (PortState& p : ports_) p.rtt_ewma = params_.ref_rtt;
+  }
+
+  /// A probe (heartbeat) sent on this port was acknowledged after `rtt`.
+  void on_probe_ack(int dir_index, sim::Duration rtt) {
+    PortState& p = port(dir_index);
+    p.loss_ewma *= 1 - params_.alpha;
+    p.rtt_ewma = (1 - params_.alpha) * p.rtt_ewma +
+                 params_.alpha * static_cast<double>(rtt);
+    ++p.acks;
+  }
+
+  /// A probe sent on this port is overdue (no ack by the next monitor tick).
+  void on_probe_timeout(int dir_index) {
+    PortState& p = port(dir_index);
+    p.loss_ewma = (1 - params_.alpha) * p.loss_ewma + params_.alpha;
+    ++p.timeouts;
+  }
+
+  /// The reliability layer retransmitted toward the neighbor on this port —
+  /// counts as a loss observation (the wire ate a frame or its ack).
+  void on_retransmit(int dir_index) {
+    PortState& p = port(dir_index);
+    p.loss_ewma = (1 - params_.alpha) * p.loss_ewma + params_.alpha;
+    ++p.retransmits;
+  }
+
+  /// Quality score in [0, 1]: delivery probability times the latency factor.
+  [[nodiscard]] double score(int dir_index) const {
+    const PortState& p = ports_[static_cast<std::size_t>(dir_index)];
+    const double lat =
+        p.rtt_ewma <= static_cast<double>(params_.ref_rtt)
+            ? 1.0
+            : static_cast<double>(params_.ref_rtt) / p.rtt_ewma;
+    return (1 - p.loss_ewma) * lat;
+  }
+
+  [[nodiscard]] double loss_ewma(int dir_index) const {
+    return ports_[static_cast<std::size_t>(dir_index)].loss_ewma;
+  }
+  [[nodiscard]] double rtt_ewma(int dir_index) const {
+    return ports_[static_cast<std::size_t>(dir_index)].rtt_ewma;
+  }
+
+  /// Re-evaluates the hysteresis masks from current scores. Returns true
+  /// when either mask changed (callers then refresh routes / flood state).
+  bool update_masks() {
+    const std::uint32_t old_deg = degraded_;
+    const std::uint32_t old_blk = black_;
+    for (std::size_t i = 0; i < ports_.size(); ++i) {
+      const std::uint32_t bit = std::uint32_t{1} << i;
+      const double s = score(static_cast<int>(i));
+      PortState& p = ports_[i];
+      if ((degraded_ & bit) != 0) {
+        if (s > params_.clear_above) {
+          degraded_ &= ~bit;
+          p.below_streak = 0;
+        }
+      } else if (s < params_.degrade_below) {
+        if (++p.below_streak >= params_.degrade_streak) degraded_ |= bit;
+      } else {
+        p.below_streak = 0;
+      }
+      const double l = ports_[i].loss_ewma;
+      if ((black_ & bit) != 0) {
+        if (l < params_.black_clear) black_ &= ~bit;
+      } else if (l > params_.black_loss) {
+        black_ |= bit;
+      }
+    }
+    return degraded_ != old_deg || black_ != old_blk;
+  }
+
+  /// Ports whose score sank below the degrade threshold (bit = Dir::index()).
+  [[nodiscard]] std::uint32_t degraded_mask() const noexcept {
+    return degraded_;
+  }
+  /// Ports dropping essentially every frame despite carrier-up.
+  [[nodiscard]] std::uint32_t black_mask() const noexcept { return black_; }
+
+  [[nodiscard]] const QualityParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] std::int64_t acks(int dir_index) const {
+    return ports_[static_cast<std::size_t>(dir_index)].acks;
+  }
+  [[nodiscard]] std::int64_t timeouts(int dir_index) const {
+    return ports_[static_cast<std::size_t>(dir_index)].timeouts;
+  }
+  [[nodiscard]] std::int64_t retransmits(int dir_index) const {
+    return ports_[static_cast<std::size_t>(dir_index)].retransmits;
+  }
+
+ private:
+  struct PortState {
+    double loss_ewma = 0;  ///< fraction of recent observations lost
+    double rtt_ewma = 0;   ///< smoothed probe round-trip, ns
+    std::int64_t acks = 0;
+    std::int64_t timeouts = 0;
+    std::int64_t retransmits = 0;
+    int below_streak = 0;  ///< consecutive sub-threshold score evaluations
+  };
+  PortState& port(int dir_index) {
+    return ports_[static_cast<std::size_t>(dir_index)];
+  }
+
+  QualityParams params_;
+  std::vector<PortState> ports_;
+  std::uint32_t degraded_ = 0;
+  std::uint32_t black_ = 0;
+};
+
+}  // namespace meshmp::net

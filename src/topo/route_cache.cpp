@@ -4,9 +4,12 @@
 
 namespace meshmp::topo {
 
-std::uint64_t RouteTableCache::key(Rank src, const std::vector<bool>& dead) {
+std::uint64_t RouteTableCache::key(Rank src, const std::vector<bool>& dead,
+                                   const std::vector<DirMask>& degraded) {
   // Digest the dead set bit-by-bit (vector<bool> has no contiguous bytes to
-  // hash), then fold in the source rank so per-node tables never alias.
+  // hash), then the degraded egress masks (the score epoch: any avoidance
+  // change must produce a new key), then fold in the source rank so
+  // per-node tables never alias.
   std::uint64_t h = chk::kFnvOffset;
   std::uint64_t word = 0;
   std::size_t nbits = 0;
@@ -18,23 +21,28 @@ std::uint64_t RouteTableCache::key(Rank src, const std::vector<bool>& dead) {
       nbits = 0;
     }
   }
+  for (const DirMask m : degraded) {
+    h = chk::fnv1a_u64(h, static_cast<std::uint64_t>(m));
+  }
   return chk::fnv1a_u64(h, static_cast<std::uint64_t>(src));
 }
 
-std::vector<std::int8_t> RouteTableCache::get(const Torus& torus, Rank src,
-                                              const std::vector<bool>& dead) {
-  const std::uint64_t k = key(src, dead);
+std::vector<std::int8_t> RouteTableCache::get(
+    const Torus& torus, Rank src, const std::vector<bool>& dead,
+    const std::vector<DirMask>& degraded) {
+  const std::uint64_t k = key(src, dead, degraded);
   chk::SimLockGuard g(mu_);
   auto [it, fresh] = entries_.emplace(k, Entry{});
-  if (!fresh && it->second.dead == dead) {
+  if (!fresh && it->second.dead == dead && it->second.degraded == degraded) {
     ++hits_;
     return it->second.table;
   }
-  // Miss, or a digest collision (different dead set behind the same key):
-  // recompute and overwrite so correctness never rests on the digest.
+  // Miss, or a digest collision (different avoidance set behind the same
+  // key): recompute and overwrite so correctness never rests on the digest.
   ++misses_;
   it->second.dead = dead;
-  it->second.table = torus.route_table_avoiding(src, dead);
+  it->second.degraded = degraded;
+  it->second.table = torus.route_table_avoiding(src, dead, degraded);
   return it->second.table;
 }
 

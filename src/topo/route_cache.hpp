@@ -32,11 +32,15 @@ namespace meshmp::topo {
 // meshmp-lint: shared-state
 class RouteTableCache {
  public:
-  /// The first-hop table for `src` avoiding `dead`, computed at most once
-  /// per distinct (src, dead) pair. Returned by value: the cache may be hit
-  /// from several logical processes, so references into it are not stable.
+  /// The first-hop table for `src` avoiding `dead` and steering around
+  /// `degraded` egress links, computed at most once per distinct
+  /// (src, dead, degraded) triple — the degraded set is part of the cache
+  /// key, so a score change can never be served a stale table. Returned by
+  /// value: the cache may be hit from several logical processes, so
+  /// references into it are not stable.
   std::vector<std::int8_t> get(const Torus& torus, Rank src,
-                               const std::vector<bool>& dead);
+                               const std::vector<bool>& dead,
+                               const std::vector<DirMask>& degraded = {});
 
   /// Drops every entry (e.g. when the cluster heals and stale avoidance
   /// sets will never recur).
@@ -61,9 +65,11 @@ class RouteTableCache {
  private:
   struct Entry {
     std::vector<bool> dead;  ///< collision check: digests are not identities
+    std::vector<DirMask> degraded;  ///< part of the identity, like dead
     std::vector<std::int8_t> table;
   };
-  static std::uint64_t key(Rank src, const std::vector<bool>& dead);
+  static std::uint64_t key(Rank src, const std::vector<bool>& dead,
+                           const std::vector<DirMask>& degraded);
 
   mutable chk::SimLock mu_;
   chk::FlatMap<std::uint64_t, Entry> entries_ MESHMP_GUARDED_BY(mu_);

@@ -1,9 +1,12 @@
 #include "topo/torus.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdlib>
+#include <queue>
 #include <stdexcept>
+#include <tuple>
 
 namespace meshmp::topo {
 
@@ -239,6 +242,59 @@ std::vector<std::int8_t> Torus::route_table_avoiding(
       queue.push_back(*n);
     }
   }
+  return first;
+}
+
+std::vector<std::int8_t> Torus::route_table_avoiding(
+    Rank src, const std::vector<bool>& dead,
+    const std::vector<DirMask>& degraded) const {
+  const bool any_degraded =
+      std::any_of(degraded.begin(), degraded.end(),
+                  [](DirMask m) { return m != 0; });
+  if (!any_degraded) return route_table_avoiding(src, dead);
+  assert(static_cast<Rank>(dead.size()) == size_);
+  assert(static_cast<Rank>(degraded.size()) == size_);
+
+  // Lexicographic shortest path on (hops, degraded links crossed): every
+  // destination keeps its minimal hop count, and among equal-hop paths the
+  // one using the fewest degraded egresses wins. The tie-break is discovery
+  // order (a monotone insertion sequence), which reduces to plain BFS FIFO
+  // order when no costs differ, so the table is deterministic.
+  constexpr int kInf = 1 << 20;
+  std::vector<int> hops(static_cast<std::size_t>(size_), kInf);
+  std::vector<int> degs(static_cast<std::size_t>(size_), kInf);
+  std::vector<std::int8_t> first(static_cast<std::size_t>(size_), -1);
+  using Item = std::tuple<int, int, std::uint32_t, Rank>;  // hops, deg, seq
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  std::uint32_t seq = 0;
+  hops[static_cast<std::size_t>(src)] = 0;
+  degs[static_cast<std::size_t>(src)] = 0;
+  pq.emplace(0, 0, seq++, src);
+  while (!pq.empty()) {
+    const auto [h, g, s, cur] = pq.top();
+    pq.pop();
+    if (h != hops[static_cast<std::size_t>(cur)] ||
+        g != degs[static_cast<std::size_t>(cur)]) {
+      continue;  // stale queue entry, a better path already settled
+    }
+    for (Dir d : directions(coord(cur))) {
+      auto n = neighbor(cur, d);
+      if (!n || dead[static_cast<std::size_t>(*n)]) continue;
+      const int nh = h + 1;
+      const int ng =
+          g + ((degraded[static_cast<std::size_t>(cur)] & dir_bit(d)) ? 1 : 0);
+      auto& bh = hops[static_cast<std::size_t>(*n)];
+      auto& bg = degs[static_cast<std::size_t>(*n)];
+      if (nh > bh || (nh == bh && ng >= bg)) continue;  // strict improvement
+      bh = nh;
+      bg = ng;
+      first[static_cast<std::size_t>(*n)] =
+          cur == src ? static_cast<std::int8_t>(d.index())
+                     : first[static_cast<std::size_t>(cur)];
+      pq.emplace(nh, ng, seq++, *n);
+    }
+  }
+  first[static_cast<std::size_t>(src)] = -1;
   return first;
 }
 

@@ -105,6 +105,18 @@ class Torus {
   [[nodiscard]] std::vector<std::int8_t> route_table_avoiding(
       Rank src, const std::vector<bool>& dead) const;
 
+  /// Quality-aware variant: `degraded[r]` is a DirMask naming rank r's
+  /// degraded egress links. Among the shortest live routes (hop count
+  /// exactly as in the 2-argument overload) it picks, per destination, a
+  /// first hop on a path crossing the fewest degraded links — proactive
+  /// avoidance of sick links that never lengthens a route. Deterministic:
+  /// lexicographic (hops, degraded-crossings, discovery order) relaxation
+  /// with strict-improvement updates; with an all-zero (or empty) mask it
+  /// returns exactly the 2-argument table.
+  [[nodiscard]] std::vector<std::int8_t> route_table_avoiding(
+      Rank src, const std::vector<bool>& dead,
+      const std::vector<DirMask>& degraded) const;
+
   /// All cables crossing the bisection of dimension `dim` at coordinate
   /// `cut`: the low side is every node with coord[dim] < cut, and a cable is
   /// listed once as (low-side rank, direction toward the high side). On a

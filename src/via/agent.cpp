@@ -92,6 +92,14 @@ void KernelAgent::link_change(hw::Nic& nic, bool up) {
   }
 }
 
+void KernelAgent::set_quality_masks(topo::DirMask degraded,
+                                    topo::DirMask black) {
+  if (degraded_dirs_ == degraded && black_dirs_ == black) return;
+  degraded_dirs_ = degraded;
+  black_dirs_ = black;
+  counters_.inc("quality_mask_updates");
+}
+
 Vi& KernelAgent::create_vi() {
   vis_.push_back(
       std::make_unique<Vi>(*this, static_cast<std::uint32_t>(vis_.size())));
@@ -177,6 +185,10 @@ net::Frame KernelAgent::make_frame(net::NodeId dst, const ViaHeader& h,
 
 hw::Nic* KernelAgent::egress_for(net::NodeId dst) {
   assert(dst != me_ && "egress_for: frame addressed to self");
+  // Black links (carrier up, dropping everything — a gray failure) are as
+  // unusable as failed ones for egress, but they never touched failed_dirs_
+  // so no one mistakes them for a carrier loss.
+  const topo::DirMask hard = failed_dirs_ | black_dirs_;
   if (!route_table_.empty()) {
     // Degraded mode: a BFS-recomputed table (routes around confirmed-dead
     // nodes) overrides per-frame SDF. A hop whose local link is itself down
@@ -187,22 +199,44 @@ hw::Nic* KernelAgent::egress_for(net::NodeId dst) {
       return nullptr;
     }
     const topo::DirMask bit = topo::DirMask{1} << static_cast<unsigned>(d);
-    if ((failed_dirs_ & bit) == 0) {
+    if ((hard & bit) == 0) {
       counters_.inc("table_routed_frames");
+      if (degraded_dirs_ != 0 && (degraded_dirs_ & bit) == 0) {
+        // The quality-aware table steered this frame onto a healthy hop
+        // where plain minimal SDF would have taken a degraded link.
+        const auto direct =
+            torus_.sdf_next_avoiding(my_coord_, torus_.coord(dst), hard);
+        if (direct && (degraded_dirs_ & topo::dir_bit(*direct)) != 0) {
+          counters_.inc("degraded_avoided");
+        }
+      }
       return nic_by_dir_.at(d);
     }
   }
   const topo::Coord to = torus_.coord(dst);
-  auto dir = torus_.sdf_next_avoiding(my_coord_, to, failed_dirs_);
+  std::optional<topo::Dir> dir;
+  if (degraded_dirs_ != 0) {
+    // Prefer a minimal first hop that dodges sick links entirely; when the
+    // only minimal hops are degraded ones, fall through and use them (a
+    // degraded link still beats a +2-hop detour).
+    dir = torus_.sdf_next_avoiding(my_coord_, to, hard | degraded_dirs_);
+    if (dir) {
+      const auto direct = torus_.sdf_next_avoiding(my_coord_, to, hard);
+      if (direct && (degraded_dirs_ & topo::dir_bit(*direct)) != 0) {
+        counters_.inc("degraded_avoided");
+      }
+    }
+  }
+  if (!dir) dir = torus_.sdf_next_avoiding(my_coord_, to, hard);
   if (!dir) {
     // No minimal direction survives the failures: take a +2-hop detour.
-    dir = torus_.detour_next(my_coord_, to, failed_dirs_);
+    dir = torus_.detour_next(my_coord_, to, hard);
     if (!dir) {
       counters_.inc("unreachable_drops");
       return nullptr;
     }
   }
-  if (failed_dirs_ != 0) {
+  if (hard != 0) {
     const auto preferred = torus_.sdf_next(my_coord_, to);
     if (preferred && !(preferred->dim == dir->dim &&
                        preferred->sign == dir->sign)) {
@@ -375,11 +409,15 @@ Task<> KernelAgent::handle_rx(net::Frame frame, hw::IsrContext& ctx) {
     }
     case MsgKind::kHeartbeat:
     case MsgKind::kMembership:
-    case MsgKind::kReconcile: {
+    case MsgKind::kReconcile:
+    case MsgKind::kHeartbeatAck:
+    case MsgKind::kLinkState: {
       co_await ctx.spend(hp.via_rx_per_frame);
-      counters_.inc(h->kind == MsgKind::kHeartbeat    ? "rx_heartbeats"
-                    : h->kind == MsgKind::kReconcile ? "rx_reconcile"
-                                                     : "rx_membership");
+      counters_.inc(h->kind == MsgKind::kHeartbeat      ? "rx_heartbeats"
+                    : h->kind == MsgKind::kReconcile    ? "rx_reconcile"
+                    : h->kind == MsgKind::kHeartbeatAck ? "rx_heartbeat_acks"
+                    : h->kind == MsgKind::kLinkState    ? "rx_linkstate"
+                                                        : "rx_membership");
       if (control_handler_) control_handler_(*h, frame.src, frame.payload);
       co_return;
     }
@@ -429,6 +467,13 @@ bool KernelAgent::reliable_accept(Vi& vi, const ViaHeader& h) {
   if (params_.reliability != Reliability::kReliableDelivery) return true;
   if (h.seq != vi.expected_seq_) {
     vi.counters_.inc("rx_out_of_order");
+    // Dedup audit: a sequence below the cumulative high-water is a frame we
+    // already delivered (go-back-N retransmit overlap or a duplicating PHY);
+    // above it is a gap the sender must go back over. Either way the frame
+    // is discarded, so a duplicate can never be delivered twice — the
+    // counters let tests pin that down per failure mode.
+    vi.counters_.inc(h.seq < vi.expected_seq_ ? "rx_dup_frames"
+                                              : "rx_future_frames");
     // Re-advertise the cumulative ack so the peer's go-back-N converges.
     send_ack(vi);
     return false;
@@ -686,6 +731,10 @@ void KernelAgent::power_fail() {
     }
   }
   clear_route_table();
+  // Quality verdicts lived in the dead host's RAM; the next incarnation
+  // re-learns them from fresh probes.
+  degraded_dirs_ = 0;
+  black_dirs_ = 0;
 }
 
 void KernelAgent::power_restore() {
@@ -763,16 +812,52 @@ void KernelAgent::set_route_table(std::vector<std::int8_t> table) {
 
 void KernelAgent::clear_route_table() { route_table_.clear(); }
 
+namespace {
+
+const char* control_tx_counter(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kHeartbeat:
+      return "tx_heartbeats";
+    case MsgKind::kReconcile:
+      return "tx_reconcile";
+    case MsgKind::kHeartbeatAck:
+      return "tx_heartbeat_acks";
+    case MsgKind::kLinkState:
+      return "tx_linkstate";
+    default:
+      return "tx_membership";
+  }
+}
+
+}  // namespace
+
 void KernelAgent::send_control(net::NodeId dst, MsgKind kind,
-                               buf::Slice payload, std::uint64_t immediate) {
+                               buf::Slice payload, std::uint64_t immediate,
+                               std::uint32_t msg_id) {
   if (!powered_) return;
   ViaHeader h;
   h.kind = kind;
   h.immediate = immediate;
-  counters_.inc(kind == MsgKind::kHeartbeat    ? "tx_heartbeats"
-                : kind == MsgKind::kReconcile ? "tx_reconcile"
-                                              : "tx_membership");
+  h.msg_id = msg_id;
+  counters_.inc(control_tx_counter(kind));
   kernel_post(make_frame(dst, h, std::move(payload)));
+}
+
+void KernelAgent::send_control_dir(topo::Dir dir, MsgKind kind,
+                                   buf::Slice payload, std::uint64_t immediate,
+                                   std::uint32_t msg_id) {
+  if (!powered_) return;
+  const auto n = torus_.neighbor(me_, dir);
+  auto it = nic_by_dir_.find(dir.index());
+  if (!n || it == nic_by_dir_.end()) return;
+  ViaHeader h;
+  h.kind = kind;
+  h.immediate = immediate;
+  h.msg_id = msg_id;
+  counters_.inc(control_tx_counter(kind));
+  // Pinned to the port serving `dir`: quality probes must keep exercising
+  // the sick cable itself, not whatever healthy route egress_for would pick.
+  it->second->kernel_enqueue(make_frame(*n, h, std::move(payload)));
 }
 
 sim::Duration KernelAgent::backoff_delay(const Vi& vi) {
@@ -882,6 +967,7 @@ Task<> KernelAgent::retx_timer_loop(std::uint32_t vi_id) {
     }
     // Go-back-N: retransmit the whole unacked window from kernel context.
     vi.counters_.inc("retransmits");
+    if (retransmit_observer_) retransmit_observer_(vi.remote_node_);
     MESHMP_TRACE_INSTANT_ARG(eng, obs::Cat::kVia, me_, "retransmit", "window",
                              vi.unacked_.size());
     co_await node_.cpu().busy(

@@ -84,6 +84,20 @@ class KernelAgent final : public hw::NicDriver {
     return failed_dirs_;
   }
 
+  // -- gray-failure quality masks ----------------------------------------
+  /// Installs the link-quality verdicts from the failure detector's scoring
+  /// pass. `degraded` links are avoided among equal-length minimal paths;
+  /// `black` links (carrier up but dropping essentially everything, e.g. a
+  /// one-directional cable break) are treated like failed links for egress —
+  /// detours allowed — without ever counting as a carrier loss.
+  void set_quality_masks(topo::DirMask degraded, topo::DirMask black);
+  [[nodiscard]] topo::DirMask degraded_dirs() const noexcept {
+    return degraded_dirs_;
+  }
+  [[nodiscard]] topo::DirMask black_dirs() const noexcept {
+    return black_dirs_;
+  }
+
   // -- node-failure lifecycle --------------------------------------------
   /// Whole-node crash: every VI fails with kUnreachable (waking local
   /// blockers so nothing hangs and upper layers quiesce their state), the
@@ -154,9 +168,25 @@ class KernelAgent final : public hw::NicDriver {
     control_handler_ = std::move(fn);
   }
   /// Fire-and-forget control frame (heartbeat / membership flood record).
-  /// Unreliable by design: the detector tolerates lost probes.
+  /// Unreliable by design: the detector tolerates lost probes. `msg_id`
+  /// lets probes carry a sequence number their acks echo back.
   void send_control(net::NodeId dst, MsgKind kind, buf::Slice payload,
-                    std::uint64_t immediate = 0);
+                    std::uint64_t immediate = 0, std::uint32_t msg_id = 0);
+
+  /// Like send_control, but pinned to the adapter serving `dir` instead of
+  /// routed: a heartbeat probe must keep exercising the direct cable it
+  /// monitors even when quality scoring would route data traffic around it.
+  /// Silently dropped when no adapter serves `dir`.
+  void send_control_dir(topo::Dir dir, MsgKind kind, buf::Slice payload,
+                        std::uint64_t immediate = 0, std::uint32_t msg_id = 0);
+
+  /// Observer invoked (from kernel context) every time the go-back-N layer
+  /// retransmits a window toward `remote`. The quality layer attributes
+  /// retransmits to the local egress when `remote` is a direct neighbour.
+  using RetransmitObserver = std::function<void(net::NodeId)>;
+  void set_retransmit_observer(RetransmitObserver fn) {
+    retransmit_observer_ = std::move(fn);
+  }
 
   [[nodiscard]] const sim::Counters& counters() const noexcept {
     return counters_;
@@ -244,12 +274,15 @@ class KernelAgent final : public hw::NicDriver {
   // container here may ever offer nondeterministic iteration.
   std::vector<std::pair<const hw::Nic*, int>> dir_of_nic_;
   topo::DirMask failed_dirs_ = 0;
+  topo::DirMask degraded_dirs_ = 0;  ///< sick but usable: avoid if free
+  topo::DirMask black_dirs_ = 0;     ///< carrier up, drops ~everything
   bool powered_ = true;
   bool minority_ = false;  ///< on a minority partition; dials fail fast
   std::uint32_t epoch_ = 0;
   std::vector<std::int8_t> route_table_;  ///< first-hop dir per rank, -1 dead
   ControlHandler control_handler_;
   LinkObserver link_observer_;
+  RetransmitObserver retransmit_observer_;
   std::vector<std::unique_ptr<Vi>> vis_;
   chk::FlatMap<std::uint32_t, std::unique_ptr<sim::Queue<Vi*>>>
       accept_queues_;  // keyed by service; iterated at power_fail

@@ -22,6 +22,10 @@ enum class MsgKind : std::uint8_t {
   kHeartbeat,   ///< neighbour liveness probe (unreliable, fire-and-forget)
   kMembership,  ///< membership-delta flood record batch
   kReconcile,   ///< post-heal reconciliation wave (generation in immediate)
+  // Gray-failure control plane (phi detector + link-quality flood):
+  kHeartbeatAck,  ///< echo of a heartbeat probe: msg_id = probe seq,
+                  ///< immediate = probe send time (for RTT measurement)
+  kLinkState,     ///< link-quality record flood (degraded/black masks)
 };
 
 struct ViaHeader {

@@ -85,6 +85,24 @@ def main():
     check(code == 0 and not findings,
           f"src/ is lint-clean (exit {code}, {len(findings)} findings)")
 
+    # Gate 2b: the gray-failure fault/score path specifically is free of
+    # wall-clock randomness (D2). These files hold every die roll and window
+    # edge of the gray campaigns — flaky drop/dup/reorder decisions, quality
+    # EWMA sampling, phi timeouts — and the run-twice / thread-matrix digest
+    # guarantees are only as good as this gate. Run WITHOUT the allowlist so
+    # a future allowlist entry can never quietly exempt them.
+    gray_files = [
+        os.path.join("src", "flt", "fault.cpp"),
+        os.path.join("src", "flt", "fault.hpp"),
+        os.path.join("src", "net", "quality.hpp"),
+        os.path.join("src", "cluster", "lifecycle.cpp"),
+    ]
+    code, findings = run_lint(gray_files)
+    d2 = {f for f in findings if f[2] == "D2"}
+    check(code == 0 and not d2,
+          f"gray flt/score code has no wall-clock randomness "
+          f"(exit {code}, {len(d2)} D2 findings)")
+
     # Gate 3: an allowlist entry filters exactly the finding it names.
     bad_copy = os.path.join(FIXTURE_DIR, "bad_copy.cpp")
     rel = os.path.relpath(bad_copy, ROOT)
